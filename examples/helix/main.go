@@ -1,0 +1,61 @@
+// Helix: the paper's §3.1 experiment in miniature — compare the flat and
+// hierarchical organizations on RNA double helices of growing length and
+// watch the hierarchical advantage grow with molecule size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"phmse"
+)
+
+func main() {
+	fmt.Println("flat vs hierarchical organization, one constraint cycle each")
+	fmt.Println(" bp  atoms  scalar |   flat(ms) |   hier(ms) | speedup")
+	for _, bp := range []int{1, 2, 4} {
+		problem := phmse.Helix(bp)
+		init := problem.TruePositions()
+
+		flat := timeOneCycle(problem, init, phmse.Flat)
+		hier := timeOneCycle(problem, init, phmse.Hierarchical)
+		fmt.Printf(" %2d  %5d  %6d | %10.1f | %10.1f | %6.2f\n",
+			bp, len(problem.Atoms), problem.ScalarDim(),
+			flat*1e3, hier*1e3, flat/hier)
+	}
+
+	// Within one cycle the two organizations perform the same computation,
+	// but across cycles they differ in constraint ordering (locality order
+	// vs. specification order), which changes the basin of attraction from
+	// distorted starts — the effect the paper's §5 asks about. On this seed
+	// the locality ordering converges where the flat ordering stalls;
+	// `paperbench convergence` runs the multi-seed version of this study.
+	problem := phmse.WithAnchors(phmse.Helix(2), 4, 0.05)
+	init := phmse.Perturbed(problem, 0.5, 7)
+	fmt.Println("\nconvergence from a 0.5 Å-perturbed start (§5 ordering effect):")
+	for _, mode := range []phmse.Mode{phmse.Flat, phmse.Hierarchical} {
+		est, err := phmse.NewEstimator(problem, phmse.Config{Mode: mode, Tol: 1e-4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sol, err := est.Solve(init)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12v: %d cycles, residual %.3f, RMSD to truth %.3f Å\n",
+			mode, sol.Cycles, sol.Residual, phmse.RMSD(sol.Positions, problem.TruePositions()))
+	}
+}
+
+func timeOneCycle(p *phmse.Problem, init []phmse.Vec3, mode phmse.Mode) float64 {
+	est, err := phmse.NewEstimator(p, phmse.Config{Mode: mode, MaxCycles: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := est.Solve(init); err != nil {
+		log.Fatal(err)
+	}
+	return time.Since(start).Seconds()
+}

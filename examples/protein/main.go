@@ -1,0 +1,81 @@
+// Protein: estimate an α-helix-bundle protein from a mixed constraint set
+// — covalent distances, bond angles, backbone φ/ψ torsions, hydrogen
+// bonds, and tertiary contacts — then write the result as a PDB file with
+// the per-atom uncertainty in the B-factor column.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"phmse"
+)
+
+func main() {
+	problem := phmse.WithAnchors(phmse.Protein(36, 7), 4, 0.05)
+	fmt.Println(problem)
+
+	// Angular observations (torsions, angles) are strongly nonlinear, so
+	// the solve uses a modest prior variance and a per-batch trust radius —
+	// the damping that keeps the iterated filter inside its linearization
+	// range.
+	est, err := phmse.NewEstimator(problem, phmse.Config{
+		Mode:      phmse.Hierarchical,
+		Procs:     4,
+		Tol:       2e-4,
+		MaxCycles: 200,
+		InitVar:   0.25,
+		MaxStep:   0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	init := phmse.Perturbed(problem, 0.6, 3)
+	sol, err := est.Solve(init)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmsd, err := phmse.SuperposedRMSD(sol.Positions, problem.TruePositions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d cycles (converged=%v): residual %.3f, superposed RMSD %.3f Å\n",
+		sol.Cycles, sol.Converged, sol.Residual, rmsd)
+
+	// Backbone atoms carry more data (angles, torsions, H-bonds) than
+	// sidechain tips and should be better determined.
+	var bb, sc []float64
+	for i, a := range problem.Atoms {
+		if a.Name == "N" || a.Name == "CA" || a.Name == "C" || a.Name == "O" {
+			bb = append(bb, sol.Variances[i])
+		} else {
+			sc = append(sc, sol.Variances[i])
+		}
+	}
+	fmt.Printf("mean σ: backbone %.3f Å (%d atoms), sidechain %.3f Å (%d atoms)\n",
+		math.Sqrt(mean(bb)), len(bb), math.Sqrt(mean(sc)), len(sc))
+
+	out, err := os.Create("protein_estimate.pdb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := phmse.WritePDB(out, problem, sol); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote protein_estimate.pdb (B-factor column = positional σ)")
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,56 @@
+// Quickstart: estimate the structure of a small RNA helix from distance
+// data and inspect the result's uncertainty.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phmse"
+)
+
+func main() {
+	// A 2-base-pair RNA helix: 86 pseudo-atoms, ~1500 distance constraints
+	// in the paper's five categories. Anchoring four atoms pins the global
+	// rigid-body freedom that distance-only data leaves undetermined.
+	problem := phmse.WithAnchors(phmse.Helix(2), 4, 0.05)
+	fmt.Println(problem)
+
+	est, err := phmse.NewEstimator(problem, phmse.Config{
+		Mode:  phmse.Hierarchical,
+		Procs: 4,
+		Tol:   1e-4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from a heavily distorted structure (1 Å RMS noise per
+	// coordinate) and iterate constraint-application cycles to convergence.
+	initial := phmse.Perturbed(problem, 1.0, 42)
+	fmt.Printf("starting estimate: %.2f Å RMSD from the true structure\n",
+		phmse.RMSD(initial, problem.TruePositions()))
+
+	sol, err := est.Solve(initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged=%v after %d cycles; weighted residual %.3f\n",
+		sol.Converged, sol.Cycles, sol.Residual)
+	fmt.Printf("final estimate: %.3f Å RMSD from the true structure\n",
+		phmse.RMSD(sol.Positions, problem.TruePositions()))
+
+	// The covariance diagonal tells which atoms the data defines well.
+	lo, hi := 0, 0
+	for i, v := range sol.Variances {
+		if v < sol.Variances[lo] {
+			lo = i
+		}
+		if v > sol.Variances[hi] {
+			hi = i
+		}
+	}
+	fmt.Printf("best-determined atom %d (σ² %.4f Å²), worst %d (σ² %.4f Å²)\n",
+		lo, sol.Variances[lo], hi, sol.Variances[hi])
+}

@@ -1,0 +1,3 @@
+module phmse
+
+go 1.22

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"phmse/internal/constraint"
+	"phmse/internal/geom"
+)
+
+// TypeResidual summarizes how well one class of observations is satisfied.
+type TypeResidual struct {
+	Scalars int     // scalar observations of this type (active ones only)
+	RMS     float64 // RMS of (z − h)/σ
+	Worst   float64 // largest |z − h|/σ
+}
+
+// ResidualByType evaluates every constraint at the given conformation and
+// groups the weighted residuals by constraint type — the first place to
+// look when a solve stalls (e.g. distances satisfied but torsions fighting
+// them). Inactive gated constraints are skipped.
+func ResidualByType(pos []geom.Vec3, cons []constraint.Constraint) map[string]TypeResidual {
+	sums := map[string]*struct {
+		n     int
+		sumSq float64
+		worst float64
+	}{}
+	var local []geom.Vec3
+	var h, z, s2 []float64
+	var jac [][]float64
+	for _, c := range cons {
+		atoms := c.Atoms()
+		dim := c.Dim()
+		if cap(local) < len(atoms) {
+			local = make([]geom.Vec3, len(atoms))
+		}
+		local = local[:len(atoms)]
+		for k, a := range atoms {
+			local[k] = pos[a]
+		}
+		if g, ok := c.(constraint.Gated); ok && !g.Active(local) {
+			continue
+		}
+		if cap(h) < dim {
+			h = make([]float64, dim)
+			z = make([]float64, dim)
+			s2 = make([]float64, dim)
+		}
+		h, z, s2 = h[:dim], z[:dim], s2[:dim]
+		for len(jac) < dim {
+			jac = append(jac, nil)
+		}
+		for d := 0; d < dim; d++ {
+			if cap(jac[d]) < 3*len(atoms) {
+				jac[d] = make([]float64, 3*len(atoms))
+			}
+			jac[d] = jac[d][:3*len(atoms)]
+		}
+		c.Eval(local, h, jac[:dim])
+		c.Observed(z, s2)
+		var wrap []bool
+		if p, ok := c.(constraint.Periodic); ok {
+			wrap = p.PeriodicRows()
+		}
+		key := typeName(c)
+		agg := sums[key]
+		if agg == nil {
+			agg = &struct {
+				n     int
+				sumSq float64
+				worst float64
+			}{}
+			sums[key] = agg
+		}
+		for d := 0; d < dim; d++ {
+			if s2[d] <= 0 {
+				continue
+			}
+			diff := z[d] - h[d]
+			if wrap != nil && wrap[d] {
+				diff = math.Mod(diff+3*math.Pi, 2*math.Pi) - math.Pi
+			}
+			w := math.Abs(diff) / math.Sqrt(s2[d])
+			agg.n++
+			agg.sumSq += w * w
+			if w > agg.worst {
+				agg.worst = w
+			}
+		}
+	}
+	out := make(map[string]TypeResidual, len(sums))
+	for k, agg := range sums {
+		tr := TypeResidual{Scalars: agg.n, Worst: agg.worst}
+		if agg.n > 0 {
+			tr.RMS = math.Sqrt(agg.sumSq / float64(agg.n))
+		}
+		out[k] = tr
+	}
+	return out
+}
+
+func typeName(c constraint.Constraint) string {
+	switch c.(type) {
+	case constraint.Distance:
+		return "distance"
+	case constraint.Angle:
+		return "angle"
+	case constraint.Torsion:
+		return "torsion"
+	case constraint.Position:
+		return "position"
+	case constraint.DistanceBound:
+		return "bound"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+// FormatResiduals renders the per-type residual table, largest RMS first.
+func FormatResiduals(byType map[string]TypeResidual) string {
+	keys := make([]string, 0, len(byType))
+	for k := range byType {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return byType[keys[i]].RMS > byType[keys[j]].RMS })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s\n", "type", "scalars", "rms(σ)", "worst(σ)")
+	for _, k := range keys {
+		tr := byType[k]
+		fmt.Fprintf(&b, "%-10s %8d %10.3f %10.3f\n", k, tr.Scalars, tr.RMS, tr.Worst)
+	}
+	return b.String()
+}

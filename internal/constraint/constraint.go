@@ -1,0 +1,325 @@
+// Package constraint defines the measurement models that relate observed
+// data to the unknown atomic coordinates: interatomic distances (the
+// prevalent data type in the paper), bond angles, torsion angles, absolute
+// position anchors, and one-sided distance bounds (the non-Gaussian
+// extension of reference [2] of the paper).
+//
+// Every constraint exposes its observation z, its noise variance, and an
+// Eval method producing the predicted measurement h(x) and the analytic
+// Jacobian ∂h/∂(atom coordinates) at the current estimate. The filter
+// package assembles batches of constraints into sparse Jacobians over a
+// node's local state vector.
+package constraint
+
+import (
+	"fmt"
+	"math"
+
+	"phmse/internal/geom"
+)
+
+// Constraint is a (possibly vector-valued) observation of the structure.
+type Constraint interface {
+	// Atoms returns the distinct global atom indices the measurement
+	// depends on, in the order expected by Eval.
+	Atoms() []int
+	// Dim returns the number of scalar observations.
+	Dim() int
+	// Observed fills z with the measured values and sigma2 with the
+	// per-component noise variances. Both slices have length Dim.
+	Observed(z, sigma2 []float64)
+	// Eval computes the predicted measurement h and the Jacobian given the
+	// current positions of Atoms() (same order). jac has Dim rows of
+	// 3·len(Atoms()) columns, laid out (x₀,y₀,z₀, x₁,y₁,z₁, …).
+	Eval(pos []geom.Vec3, h []float64, jac [][]float64)
+}
+
+// Gated is implemented by constraints that are only active in part of the
+// configuration space, such as one-sided distance bounds. Inactive
+// constraints are skipped for the current linearization point.
+type Gated interface {
+	Constraint
+	Active(pos []geom.Vec3) bool
+}
+
+// Periodic is implemented by constraints whose scalar observations live on
+// a circle of circumference 2π (torsion angles). The filter wraps their
+// innovations z − h(x) into (−π, π], preventing a spurious 2π jump when
+// the observed and predicted angles straddle the branch cut.
+type Periodic interface {
+	Constraint
+	// PeriodicRows reports, per scalar row, whether the observation is
+	// 2π-periodic.
+	PeriodicRows() []bool
+}
+
+// Distance is an observed Euclidean distance between two atoms, the most
+// prevalent form of data for molecular structures (NMR NOE distances,
+// covalent bond lengths from general chemistry, and so on).
+type Distance struct {
+	I, J   int     // global atom indices
+	Target float64 // observed distance
+	Sigma  float64 // measurement standard deviation
+}
+
+// Atoms implements Constraint.
+func (d Distance) Atoms() []int { return []int{d.I, d.J} }
+
+// Dim implements Constraint.
+func (d Distance) Dim() int { return 1 }
+
+// Observed implements Constraint.
+func (d Distance) Observed(z, sigma2 []float64) {
+	z[0] = d.Target
+	sigma2[0] = d.Sigma * d.Sigma
+}
+
+// Eval implements Constraint. The gradient of |rᵢ−rⱼ| is ±(rᵢ−rⱼ)/|rᵢ−rⱼ|;
+// coincident atoms get a zero Jacobian row (the constraint provides no
+// direction until the estimate separates them).
+func (d Distance) Eval(pos []geom.Vec3, h []float64, jac [][]float64) {
+	diff := pos[0].Sub(pos[1])
+	r := diff.Norm()
+	h[0] = r
+	row := jac[0]
+	if r == 0 {
+		for k := range row {
+			row[k] = 0
+		}
+		return
+	}
+	inv := 1 / r
+	for c := 0; c < 3; c++ {
+		g := diff[c] * inv
+		row[c] = g
+		row[3+c] = -g
+	}
+}
+
+func (d Distance) String() string {
+	return fmt.Sprintf("dist(%d,%d)=%.3g±%.2g", d.I, d.J, d.Target, d.Sigma)
+}
+
+// Angle is an observed bond angle (radians) at vertex J of the path I–J–K.
+type Angle struct {
+	I, J, K int
+	Target  float64 // radians
+	Sigma   float64 // radians
+}
+
+// Atoms implements Constraint.
+func (a Angle) Atoms() []int { return []int{a.I, a.J, a.K} }
+
+// Dim implements Constraint.
+func (a Angle) Dim() int { return 1 }
+
+// Observed implements Constraint.
+func (a Angle) Observed(z, sigma2 []float64) {
+	z[0] = a.Target
+	sigma2[0] = a.Sigma * a.Sigma
+}
+
+// Eval implements Constraint using the analytic angle gradient
+// ∂θ/∂rᵢ = (cosθ·û − v̂)/(|u| sinθ) with u = rᵢ−rⱼ, v = r_k−rⱼ.
+func (a Angle) Eval(pos []geom.Vec3, h []float64, jac [][]float64) {
+	u := pos[0].Sub(pos[1])
+	v := pos[2].Sub(pos[1])
+	nu, nv := u.Norm(), v.Norm()
+	row := jac[0]
+	if nu == 0 || nv == 0 {
+		h[0] = 0
+		for k := range row {
+			row[k] = 0
+		}
+		return
+	}
+	uh, vh := u.Scale(1/nu), v.Scale(1/nv)
+	cos := uh.Dot(vh)
+	sin := uh.Cross(vh).Norm()
+	h[0] = math.Atan2(sin, cos)
+	if sin < 1e-12 {
+		// Degenerate (collinear) configuration: no well-defined gradient.
+		for k := range row {
+			row[k] = 0
+		}
+		return
+	}
+	gi := uh.Scale(cos).Sub(vh).Scale(1 / (nu * sin))
+	gk := vh.Scale(cos).Sub(uh).Scale(1 / (nv * sin))
+	gj := gi.Add(gk).Scale(-1)
+	for c := 0; c < 3; c++ {
+		row[c] = gi[c]
+		row[3+c] = gj[c]
+		row[6+c] = gk[c]
+	}
+}
+
+// Torsion is an observed dihedral angle (radians) of the chain I–J–K–L
+// about the J–K axis.
+type Torsion struct {
+	I, J, K, L int
+	Target     float64 // radians, in (−π, π]
+	Sigma      float64
+}
+
+// Atoms implements Constraint.
+func (t Torsion) Atoms() []int { return []int{t.I, t.J, t.K, t.L} }
+
+// PeriodicRows implements Periodic: the dihedral lives on (−π, π].
+func (t Torsion) PeriodicRows() []bool { return []bool{true} }
+
+// Dim implements Constraint.
+func (t Torsion) Dim() int { return 1 }
+
+// Observed implements Constraint.
+func (t Torsion) Observed(z, sigma2 []float64) {
+	z[0] = t.Target
+	sigma2[0] = t.Sigma * t.Sigma
+}
+
+// Eval implements Constraint with the analytic dihedral gradient: with
+// b₁ = rⱼ−rᵢ, b₂ = r_k−rⱼ, b₃ = r_l−r_k and normals n₁ = b₁×b₂, n₂ = b₂×b₃,
+//
+//	∂φ/∂rᵢ = |b₂|/|n₁|²·n₁,  ∂φ/∂r_l = −|b₂|/|n₂|²·n₂,
+//
+// and the inner atoms take the translation-balancing combinations
+// ∂φ/∂rⱼ = −(1+p)·∂φ/∂rᵢ + q·∂φ/∂r_l, ∂φ/∂r_k = p·∂φ/∂rᵢ − (1+q)·∂φ/∂r_l
+// with p = b₁·b₂/|b₂|², q = b₃·b₂/|b₂|² (signs follow geom.Dihedral's
+// atan2 convention; verified against central differences in the tests).
+func (t Torsion) Eval(pos []geom.Vec3, h []float64, jac [][]float64) {
+	b1 := pos[1].Sub(pos[0])
+	b2 := pos[2].Sub(pos[1])
+	b3 := pos[3].Sub(pos[2])
+	n1 := b1.Cross(b2)
+	n2 := b2.Cross(b3)
+	nb2 := b2.Norm()
+	row := jac[0]
+	h[0] = geom.Dihedral(pos[0], pos[1], pos[2], pos[3])
+	n1sq, n2sq := n1.Norm2(), n2.Norm2()
+	if nb2 == 0 || n1sq < 1e-18 || n2sq < 1e-18 {
+		for k := range row {
+			row[k] = 0
+		}
+		return
+	}
+	// Sign follows the atan2 convention used by geom.Dihedral.
+	gi := n1.Scale(nb2 / n1sq)
+	gl := n2.Scale(-nb2 / n2sq)
+	c12 := b1.Dot(b2) / (nb2 * nb2)
+	c32 := b3.Dot(b2) / (nb2 * nb2)
+	gj := gi.Scale(-(1 + c12)).Add(gl.Scale(c32))
+	gk := gi.Scale(c12).Sub(gl.Scale(1 + c32))
+	for c := 0; c < 3; c++ {
+		row[c] = gi[c]
+		row[3+c] = gj[c]
+		row[6+c] = gk[c]
+		row[9+c] = gl[c]
+	}
+}
+
+// Position anchors an atom to an externally known location, such as the
+// neutron-diffraction protein positions used as reference points in the 30S
+// ribosome problem. It is a three-dimensional linear observation.
+type Position struct {
+	I      int
+	Target geom.Vec3
+	Sigma  float64 // isotropic standard deviation per coordinate
+}
+
+// Atoms implements Constraint.
+func (p Position) Atoms() []int { return []int{p.I} }
+
+// Dim implements Constraint.
+func (p Position) Dim() int { return 3 }
+
+// Observed implements Constraint.
+func (p Position) Observed(z, sigma2 []float64) {
+	for c := 0; c < 3; c++ {
+		z[c] = p.Target[c]
+		sigma2[c] = p.Sigma * p.Sigma
+	}
+}
+
+// Eval implements Constraint; the model is linear with identity Jacobian.
+func (p Position) Eval(pos []geom.Vec3, h []float64, jac [][]float64) {
+	for c := 0; c < 3; c++ {
+		h[c] = pos[0][c]
+		row := jac[c]
+		for k := range row {
+			row[k] = 0
+		}
+		row[c] = 1
+	}
+}
+
+// DistanceBound is a one-sided distance constraint, the simplest of the
+// non-Gaussian observation types handled by the extension in reference [2]
+// of the paper (e.g. NOE upper bounds, van der Waals lower bounds). While
+// the current estimate satisfies the bound the constraint is inactive; when
+// violated it acts as a Gaussian distance observation pulled to the nearest
+// bound.
+type DistanceBound struct {
+	I, J  int
+	Lower float64 // 0 means no lower bound
+	Upper float64 // +Inf or 0 means no upper bound
+	Sigma float64
+}
+
+// Atoms implements Constraint.
+func (b DistanceBound) Atoms() []int { return []int{b.I, b.J} }
+
+// Dim implements Constraint.
+func (b DistanceBound) Dim() int { return 1 }
+
+// Active implements Gated: the bound participates only when violated.
+func (b DistanceBound) Active(pos []geom.Vec3) bool {
+	r := geom.Dist(pos[0], pos[1])
+	if b.Lower > 0 && r < b.Lower {
+		return true
+	}
+	if b.Upper > 0 && !math.IsInf(b.Upper, 1) && r > b.Upper {
+		return true
+	}
+	return false
+}
+
+// Observed implements Constraint. The observation target depends on which
+// bound is violated, so Observed alone is not meaningful for inactive
+// bounds; the filter only consults it when Active reports true, and the
+// target is refreshed by Eval through the shared positions.
+func (b DistanceBound) Observed(z, sigma2 []float64) {
+	// Nearest bound as a nominal target; Eval supplies h(x), and the filter
+	// pulls toward whichever bound Observed reports. Use the midpoint when
+	// both bounds exist so either violation converges into the interval.
+	switch {
+	case b.Lower > 0 && (b.Upper == 0 || math.IsInf(b.Upper, 1)):
+		z[0] = b.Lower
+	case b.Lower == 0:
+		z[0] = b.Upper
+	default:
+		z[0] = 0.5 * (b.Lower + b.Upper)
+	}
+	sigma2[0] = b.Sigma * b.Sigma
+}
+
+// Eval implements Constraint with the same geometry as Distance.
+func (b DistanceBound) Eval(pos []geom.Vec3, h []float64, jac [][]float64) {
+	Distance{I: b.I, J: b.J}.Eval(pos, h, jac)
+}
+
+// Span returns the atom-index extent of a constraint; it is used by the
+// hierarchy to assign each constraint to the smallest node containing all
+// its atoms.
+func Span(c Constraint) (lo, hi int) {
+	atoms := c.Atoms()
+	lo, hi = atoms[0], atoms[0]
+	for _, a := range atoms[1:] {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,303 @@
+package constraint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"phmse/internal/geom"
+)
+
+// numericJacobian computes the central-difference Jacobian of a constraint
+// at the given positions, for verification of the analytic gradients.
+func numericJacobian(c Constraint, pos []geom.Vec3) [][]float64 {
+	const eps = 1e-6
+	dim := c.Dim()
+	n := len(pos)
+	jac := make([][]float64, dim)
+	for d := range jac {
+		jac[d] = make([]float64, 3*n)
+	}
+	hPlus := make([]float64, dim)
+	hMinus := make([]float64, dim)
+	scratch := make([][]float64, dim)
+	for d := range scratch {
+		scratch[d] = make([]float64, 3*n)
+	}
+	for a := 0; a < n; a++ {
+		for cc := 0; cc < 3; cc++ {
+			p := make([]geom.Vec3, n)
+			copy(p, pos)
+			p[a][cc] += eps
+			c.Eval(p, hPlus, scratch)
+			p[a][cc] -= 2 * eps
+			c.Eval(p, hMinus, scratch)
+			for d := 0; d < dim; d++ {
+				diff := hPlus[d] - hMinus[d]
+				// Angles can wrap across ±π.
+				if diff > math.Pi {
+					diff -= 2 * math.Pi
+				} else if diff < -math.Pi {
+					diff += 2 * math.Pi
+				}
+				jac[d][3*a+cc] = diff / (2 * eps)
+			}
+		}
+	}
+	return jac
+}
+
+func checkJacobian(t *testing.T, c Constraint, pos []geom.Vec3, tol float64) {
+	t.Helper()
+	dim := c.Dim()
+	h := make([]float64, dim)
+	analytic := make([][]float64, dim)
+	for d := range analytic {
+		analytic[d] = make([]float64, 3*len(pos))
+	}
+	c.Eval(pos, h, analytic)
+	numeric := numericJacobian(c, pos)
+	for d := 0; d < dim; d++ {
+		for k := range analytic[d] {
+			if math.Abs(analytic[d][k]-numeric[d][k]) > tol {
+				t.Fatalf("row %d col %d: analytic %g numeric %g",
+					d, k, analytic[d][k], numeric[d][k])
+			}
+		}
+	}
+}
+
+func randPos(rng *rand.Rand, n int) []geom.Vec3 {
+	pos := make([]geom.Vec3, n)
+	for i := range pos {
+		pos[i] = geom.Vec3{rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	return pos
+}
+
+func TestDistanceBasics(t *testing.T) {
+	d := Distance{I: 4, J: 9, Target: 1.5, Sigma: 0.1}
+	if got := d.Atoms(); got[0] != 4 || got[1] != 9 {
+		t.Fatal("Atoms")
+	}
+	if d.Dim() != 1 {
+		t.Fatal("Dim")
+	}
+	z := make([]float64, 1)
+	s2 := make([]float64, 1)
+	d.Observed(z, s2)
+	if z[0] != 1.5 || math.Abs(s2[0]-0.01) > 1e-15 {
+		t.Fatalf("Observed %v %v", z, s2)
+	}
+	if d.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestDistanceEvalValue(t *testing.T) {
+	d := Distance{}
+	h := make([]float64, 1)
+	jac := [][]float64{make([]float64, 6)}
+	d.Eval([]geom.Vec3{{0, 0, 0}, {3, 4, 0}}, h, jac)
+	if h[0] != 5 {
+		t.Fatalf("h = %g", h[0])
+	}
+	// Gradient points from j to i for atom i.
+	if math.Abs(jac[0][0]-(-0.6)) > 1e-14 || math.Abs(jac[0][3]-0.6) > 1e-14 {
+		t.Fatalf("jac = %v", jac[0])
+	}
+}
+
+func TestDistanceCoincidentAtoms(t *testing.T) {
+	d := Distance{}
+	h := make([]float64, 1)
+	jac := [][]float64{{1, 1, 1, 1, 1, 1}}
+	d.Eval([]geom.Vec3{{1, 1, 1}, {1, 1, 1}}, h, jac)
+	if h[0] != 0 {
+		t.Fatal("h != 0 for coincident atoms")
+	}
+	for _, v := range jac[0] {
+		if v != 0 {
+			t.Fatal("non-zero gradient for coincident atoms")
+		}
+	}
+}
+
+func TestDistanceJacobianNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		pos := randPos(rng, 2)
+		if geom.Dist(pos[0], pos[1]) < 0.2 {
+			continue
+		}
+		checkJacobian(t, Distance{I: 0, J: 1, Target: 1, Sigma: 1}, pos, 1e-6)
+	}
+}
+
+func TestAngleEvalValue(t *testing.T) {
+	a := Angle{Target: math.Pi / 2, Sigma: 0.1}
+	h := make([]float64, 1)
+	jac := [][]float64{make([]float64, 9)}
+	a.Eval([]geom.Vec3{{1, 0, 0}, {0, 0, 0}, {0, 1, 0}}, h, jac)
+	if math.Abs(h[0]-math.Pi/2) > 1e-14 {
+		t.Fatalf("angle = %g", h[0])
+	}
+}
+
+func TestAngleJacobianNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		pos := randPos(rng, 3)
+		// Skip nearly degenerate configurations.
+		ang := geom.Angle(pos[0], pos[1], pos[2])
+		if ang < 0.3 || ang > math.Pi-0.3 ||
+			geom.Dist(pos[0], pos[1]) < 0.3 || geom.Dist(pos[2], pos[1]) < 0.3 {
+			continue
+		}
+		checkJacobian(t, Angle{I: 0, J: 1, K: 2, Target: 1, Sigma: 1}, pos, 1e-5)
+	}
+}
+
+func TestAngleDegenerateZeroGradient(t *testing.T) {
+	a := Angle{}
+	h := make([]float64, 1)
+	jac := [][]float64{make([]float64, 9)}
+	// Collinear points: gradient undefined, must be zeroed.
+	a.Eval([]geom.Vec3{{1, 0, 0}, {0, 0, 0}, {2, 0, 0}}, h, jac)
+	for _, v := range jac[0] {
+		if v != 0 {
+			t.Fatal("non-zero gradient at degenerate angle")
+		}
+	}
+	// Coincident vertex.
+	a.Eval([]geom.Vec3{{0, 0, 0}, {0, 0, 0}, {1, 0, 0}}, h, jac)
+	if h[0] != 0 {
+		t.Fatal("degenerate angle value")
+	}
+}
+
+func TestTorsionEvalValue(t *testing.T) {
+	tor := Torsion{}
+	h := make([]float64, 1)
+	jac := [][]float64{make([]float64, 12)}
+	pos := []geom.Vec3{{0, 1, 0}, {0, 0, 0}, {1, 0, 0}, {1, 1, 0}}
+	tor.Eval(pos, h, jac)
+	if math.Abs(h[0]) > 1e-12 {
+		t.Fatalf("cis torsion = %g", h[0])
+	}
+}
+
+func TestTorsionJacobianNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 25; trial++ {
+		pos := randPos(rng, 4)
+		b1 := pos[1].Sub(pos[0])
+		b2 := pos[2].Sub(pos[1])
+		b3 := pos[3].Sub(pos[2])
+		if b1.Cross(b2).Norm() < 0.5 || b2.Cross(b3).Norm() < 0.5 || b2.Norm() < 0.5 {
+			continue
+		}
+		phi := geom.Dihedral(pos[0], pos[1], pos[2], pos[3])
+		if math.Abs(math.Abs(phi)-math.Pi) < 0.2 {
+			continue // wrap-around makes finite differences unreliable
+		}
+		checkJacobian(t, Torsion{I: 0, J: 1, K: 2, L: 3, Target: 1, Sigma: 1}, pos, 1e-5)
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d non-degenerate configurations checked", checked)
+	}
+}
+
+func TestTorsionDegenerate(t *testing.T) {
+	tor := Torsion{}
+	h := make([]float64, 1)
+	jac := [][]float64{make([]float64, 12)}
+	// Collinear chain: zero gradient.
+	tor.Eval([]geom.Vec3{{0, 0, 0}, {1, 0, 0}, {2, 0, 0}, {3, 0, 0}}, h, jac)
+	for _, v := range jac[0] {
+		if v != 0 {
+			t.Fatal("non-zero gradient at degenerate torsion")
+		}
+	}
+}
+
+func TestPosition(t *testing.T) {
+	p := Position{I: 7, Target: geom.Vec3{1, 2, 3}, Sigma: 0.5}
+	if p.Dim() != 3 || p.Atoms()[0] != 7 {
+		t.Fatal("shape")
+	}
+	z := make([]float64, 3)
+	s2 := make([]float64, 3)
+	p.Observed(z, s2)
+	if z[2] != 3 || s2[0] != 0.25 {
+		t.Fatalf("Observed %v %v", z, s2)
+	}
+	h := make([]float64, 3)
+	jac := [][]float64{make([]float64, 3), make([]float64, 3), make([]float64, 3)}
+	p.Eval([]geom.Vec3{{9, 8, 7}}, h, jac)
+	if h[0] != 9 || h[1] != 8 || h[2] != 7 {
+		t.Fatalf("h = %v", h)
+	}
+	for d := 0; d < 3; d++ {
+		for k := 0; k < 3; k++ {
+			want := 0.0
+			if d == k {
+				want = 1
+			}
+			if jac[d][k] != want {
+				t.Fatalf("jac[%d][%d] = %g", d, k, jac[d][k])
+			}
+		}
+	}
+}
+
+func TestDistanceBoundGating(t *testing.T) {
+	b := DistanceBound{I: 0, J: 1, Lower: 2, Upper: 5, Sigma: 0.1}
+	near := []geom.Vec3{{0, 0, 0}, {1, 0, 0}}   // r=1 < lower
+	inside := []geom.Vec3{{0, 0, 0}, {3, 0, 0}} // 2 ≤ 3 ≤ 5
+	far := []geom.Vec3{{0, 0, 0}, {7, 0, 0}}    // r=7 > upper
+	if !b.Active(near) || b.Active(inside) || !b.Active(far) {
+		t.Fatal("gating wrong")
+	}
+	// Upper-only bound.
+	up := DistanceBound{Upper: 5, Sigma: 0.1}
+	if up.Active(near) || !up.Active(far) {
+		t.Fatal("upper-only gating wrong")
+	}
+	// Lower-only bound (Upper = 0 means absent).
+	lo := DistanceBound{Lower: 2, Sigma: 0.1}
+	if !lo.Active(near) || lo.Active(far) {
+		t.Fatal("lower-only gating wrong")
+	}
+}
+
+func TestDistanceBoundObserved(t *testing.T) {
+	z := make([]float64, 1)
+	s2 := make([]float64, 1)
+	DistanceBound{Lower: 2, Sigma: 1}.Observed(z, s2)
+	if z[0] != 2 {
+		t.Fatalf("lower-only target %g", z[0])
+	}
+	DistanceBound{Upper: 5, Sigma: 1}.Observed(z, s2)
+	if z[0] != 5 {
+		t.Fatalf("upper-only target %g", z[0])
+	}
+	DistanceBound{Lower: 2, Upper: 6, Sigma: 1}.Observed(z, s2)
+	if z[0] != 4 {
+		t.Fatalf("two-sided target %g", z[0])
+	}
+	var _ Gated = DistanceBound{} // interface check
+}
+
+func TestSpan(t *testing.T) {
+	lo, hi := Span(Torsion{I: 9, J: 2, K: 14, L: 7})
+	if lo != 2 || hi != 14 {
+		t.Fatalf("Span = %d..%d", lo, hi)
+	}
+	lo, hi = Span(Position{I: 3})
+	if lo != 3 || hi != 3 {
+		t.Fatalf("Span = %d..%d", lo, hi)
+	}
+}

@@ -1,0 +1,307 @@
+// Package core assembles the paper's method into a single estimator: given
+// a structure-estimation problem, it solves for atomic coordinates and
+// their uncertainty using either the flat organization (§2) or the parallel
+// hierarchical organization (§3–4), with intra-node parallel matrix
+// kernels, inter-node subtree parallelism under the static processor
+// assignment heuristic, and optional automatic decomposition of flat
+// problem specifications.
+package core
+
+import (
+	"fmt"
+
+	"phmse/internal/analysis"
+	"phmse/internal/conform"
+	"phmse/internal/filter"
+	"phmse/internal/geom"
+	"phmse/internal/hier"
+	"phmse/internal/molecule"
+	"phmse/internal/par"
+	"phmse/internal/sched"
+	"phmse/internal/trace"
+	"phmse/internal/workest"
+)
+
+// Mode selects the problem organization.
+type Mode int
+
+// The two organizations compared throughout the paper.
+const (
+	// Flat treats the molecule as one long vector of atoms (§2).
+	Flat Mode = iota
+	// Hierarchical decomposes the molecule recursively and applies every
+	// constraint at the smallest containing node (§3).
+	Hierarchical
+)
+
+func (m Mode) String() string {
+	if m == Flat {
+		return "flat"
+	}
+	return "hierarchical"
+}
+
+// Config configures an Estimator. The zero value selects the paper's
+// defaults: hierarchical organization, batch dimension 16, one processor.
+type Config struct {
+	Mode Mode
+	// Procs is the number of logical processors (goroutine team size).
+	Procs int
+	// BatchSize is the scalar constraint batch dimension (default 16).
+	BatchSize int
+	// MaxCycles bounds the constraint-application cycles (default 100).
+	MaxCycles int
+	// Tol is the RMS coordinate change declaring convergence (default 1e-3).
+	Tol float64
+	// InitVar is the per-coordinate prior variance in Å² (default 100).
+	InitVar float64
+	// Recorder, when non-nil, accumulates per-operation-class times.
+	Recorder *trace.Collector
+	// AutoDecompose ignores the problem's hierarchy and derives one by
+	// constraint-graph partitioning (§5's automatic decomposition).
+	AutoDecompose bool
+	// LeafSize is the target leaf size (atoms) for automatic decomposition
+	// (default 16).
+	LeafSize int
+	// MaxStep clamps each batch's state update to this infinity-norm trust
+	// radius (Å) — the damping that keeps the iterated filter inside its
+	// linearization range for strongly nonlinear observations. Zero selects
+	// the 2 Å default; negative disables the clamp.
+	MaxStep float64
+	// Joseph selects the numerically robust Joseph-form covariance update
+	// at roughly three times the m-m cost (see filter.Updater.Joseph).
+	Joseph bool
+	// GateSigma, when positive, enables innovation gating: observations
+	// whose normalized innovation exceeds the gate are deweighted for the
+	// current batch (see filter.Updater.GateSigma).
+	GateSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = filter.DefaultBatchSize
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.InitVar <= 0 {
+		c.InitVar = 100
+	}
+	if c.LeafSize <= 0 {
+		c.LeafSize = 16
+	}
+	return c
+}
+
+// Estimator solves one problem instance. Create with New; an Estimator is
+// safe for repeated Solve calls but not for concurrent use.
+type Estimator struct {
+	problem *molecule.Problem
+	cfg     Config
+	team    *par.Team
+	root    *hier.Node // nil in flat mode
+	plan    *hier.ExecPlan
+}
+
+// New builds an estimator for the problem. In hierarchical mode it
+// constructs the structure tree (from the problem's own decomposition or
+// automatically), assigns constraints to nodes, prepares batches, and
+// computes the static processor assignment.
+func New(p *molecule.Problem, cfg Config) (*Estimator, error) {
+	cfg = cfg.withDefaults()
+	e := &Estimator{problem: p, cfg: cfg, team: par.NewTeam(cfg.Procs)}
+	if cfg.Mode == Flat {
+		return e, nil
+	}
+	tree := p.Tree
+	if cfg.AutoDecompose || tree == nil {
+		tree = hier.GraphPartition(len(p.Atoms), p.Constraints, cfg.LeafSize)
+	}
+	root, err := hier.Build(tree, p.Constraints)
+	if err != nil {
+		return nil, fmt.Errorf("core: building hierarchy: %w", err)
+	}
+	if err := root.Prepare(cfg.BatchSize); err != nil {
+		return nil, fmt.Errorf("core: preparing batches: %w", err)
+	}
+	e.root = root
+	if cfg.Procs > 1 {
+		work := sched.EstimateWork(root, workest.FlopModel{}, cfg.BatchSize)
+		e.plan = sched.Assign(root, cfg.Procs, work)
+		if err := e.plan.Validate(root, cfg.Procs); err != nil {
+			return nil, fmt.Errorf("core: processor assignment: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Root exposes the structure hierarchy (nil in flat mode), for inspection
+// and for the virtual-machine experiments.
+func (e *Estimator) Root() *hier.Node { return e.root }
+
+// Plan exposes the static processor assignment (nil when sequential).
+func (e *Estimator) Plan() *hier.ExecPlan { return e.plan }
+
+// Problem returns the problem being solved.
+func (e *Estimator) Problem() *molecule.Problem { return e.problem }
+
+// InitialEstimate runs the low-resolution discrete conformational search
+// (the paper's preprocessing step) to produce a starting structure.
+func (e *Estimator) InitialEstimate(seed int64) []geom.Vec3 {
+	return conform.Search(len(e.problem.Atoms), e.problem.Constraints, conform.Options{Seed: seed})
+}
+
+// Solution is a solved structure estimate.
+type Solution struct {
+	// Positions holds the estimated atom coordinates in problem order.
+	Positions []geom.Vec3
+	// Variances holds the summed coordinate variance of each atom — the
+	// per-atom uncertainty measure the covariance matrix provides.
+	Variances []float64
+	// Cycles is the number of constraint-application cycles performed.
+	Cycles int
+	// Converged reports whether the RMS change fell below Tol.
+	Converged bool
+	// RMSChange is the RMS coordinate change over the final cycle.
+	RMSChange float64
+	// Residual is the RMS weighted constraint residual at the solution.
+	Residual float64
+
+	state *filter.State // full posterior, for covariance interpretation
+	local []int         // problem atom → state atom index
+	names []string      // atom names for reports
+}
+
+// Ellipsoid returns the positional uncertainty ellipsoid of an atom
+// (problem ordering): the principal axes and standard deviations of its
+// 3×3 covariance block.
+func (s *Solution) Ellipsoid(atom int) (analysis.Ellipsoid, error) {
+	if atom < 0 || atom >= len(s.local) {
+		return analysis.Ellipsoid{}, fmt.Errorf("core: atom %d out of %d", atom, len(s.local))
+	}
+	return analysis.AtomEllipsoid(s.state, s.local[atom])
+}
+
+// Correlation returns the normalized cross-covariance coupling between two
+// atoms: 0 when the data leaves their estimates independent, near 1 when
+// it rigidly ties them together.
+func (s *Solution) Correlation(a, b int) float64 {
+	return analysis.Correlation(s.state, s.local[a], s.local[b])
+}
+
+// UncertaintyReport renders the covariance interpretation: overall σ plus
+// the k best- and worst-determined atoms with their ellipsoids.
+func (s *Solution) UncertaintyReport(k int) string {
+	names := make([]string, s.state.Atoms())
+	for i, li := range s.local {
+		if i < len(s.names) {
+			names[li] = s.names[i]
+		}
+	}
+	return analysis.Report(s.state, names, k)
+}
+
+// Solve estimates the structure starting from init (problem atom order).
+func (e *Estimator) Solve(init []geom.Vec3) (*Solution, error) {
+	if len(init) != len(e.problem.Atoms) {
+		return nil, fmt.Errorf("core: init has %d atoms, problem has %d", len(init), len(e.problem.Atoms))
+	}
+	if e.cfg.Mode == Flat {
+		return e.solveFlat(init)
+	}
+	return e.solveHier(init)
+}
+
+// Replan computes a fresh static processor assignment for the estimator's
+// tree at a different processor count, for processor-sweep experiments.
+func Replan(e *Estimator, procs int) *hier.ExecPlan {
+	if e.root == nil || procs <= 1 {
+		return nil
+	}
+	work := sched.EstimateWork(e.root, workest.FlopModel{}, e.cfg.BatchSize)
+	return sched.Assign(e.root, procs, work)
+}
+
+func (e *Estimator) solveFlat(init []geom.Vec3) (*Solution, error) {
+	s := filter.NewState(init, e.cfg.InitVar)
+	res, err := filter.Solve(s, e.problem.Constraints, filter.SolveOptions{
+		BatchSize: e.cfg.BatchSize,
+		MaxCycles: e.cfg.MaxCycles,
+		Tol:       e.cfg.Tol,
+		InitVar:   e.cfg.InitVar,
+		Team:      e.team,
+		Rec:       e.cfg.Recorder,
+		MaxStep:   e.cfg.MaxStep,
+		Joseph:    e.cfg.Joseph,
+		GateSigma: e.cfg.GateSigma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Positions: s.Positions(),
+		Variances: make([]float64, s.Atoms()),
+		Cycles:    res.Cycles,
+		Converged: res.Converged,
+		RMSChange: res.RMSChange,
+		Residual:  res.Residual,
+		state:     s,
+		local:     make([]int, s.Atoms()),
+		names:     atomNames(e.problem),
+	}
+	for i := range sol.Variances {
+		sol.Variances[i] = s.Variance(i)
+		sol.local[i] = i
+	}
+	return sol, nil
+}
+
+func atomNames(p *molecule.Problem) []string {
+	names := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		names[i] = a.Name
+	}
+	return names
+}
+
+func (e *Estimator) solveHier(init []geom.Vec3) (*Solution, error) {
+	state, res, err := hier.Solve(e.root, init, hier.Options{
+		BatchSize: e.cfg.BatchSize,
+		MaxCycles: e.cfg.MaxCycles,
+		Tol:       e.cfg.Tol,
+		InitVar:   e.cfg.InitVar,
+		Team:      e.team,
+		Plan:      e.plan,
+		Rec:       e.cfg.Recorder,
+		MaxStep:   e.cfg.MaxStep,
+		Joseph:    e.cfg.Joseph,
+		GateSigma: e.cfg.GateSigma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{
+		Positions: append([]geom.Vec3(nil), init...),
+		Variances: make([]float64, len(e.problem.Atoms)),
+		Cycles:    res.Cycles,
+		Converged: res.Converged,
+		RMSChange: res.RMSChange,
+		state:     state,
+		local:     make([]int, len(e.problem.Atoms)),
+		names:     atomNames(e.problem),
+	}
+	for i, a := range e.root.Atoms {
+		sol.Positions[a] = state.Pos(i)
+		sol.Variances[a] = state.Variance(i)
+		sol.local[a] = i
+	}
+	flat := filter.NewState(sol.Positions, 1)
+	sol.Residual = filter.WeightedResidual(flat, e.problem.Constraints)
+	return sol, nil
+}

@@ -1,0 +1,99 @@
+package filter
+
+import (
+	"fmt"
+
+	"phmse/internal/mat"
+)
+
+// Combine fuses two estimates that were produced by applying disjoint
+// constraint subsets independently to the same prior (the paper's Figure 3
+// procedure for coarse-grained intra-node parallelism). In information form
+// the fusion is exact for linear measurement models:
+//
+//	C_f⁻¹   = C_a⁻¹ + C_b⁻¹ − C₀⁻¹
+//	C_f⁻¹·x_f = C_a⁻¹·x_a + C_b⁻¹·x_b − C₀⁻¹·x₀
+//
+// The prior information is subtracted once because both branches carry it.
+// As the paper's §4.1 analysis states, this costs as much as applying a
+// constraint vector of dimension n, which is why the approach loses to
+// parallelism within the update procedure for realistically scarce data.
+func Combine(prior, a, b *State) (*State, error) {
+	n := prior.Dim()
+	if a.Dim() != n || b.Dim() != n {
+		return nil, fmt.Errorf("filter: Combine dimension mismatch (%d, %d, %d)", n, a.Dim(), b.Dim())
+	}
+	ia, va, err := information(a)
+	if err != nil {
+		return nil, fmt.Errorf("filter: branch a: %w", err)
+	}
+	ib, vb, err := information(b)
+	if err != nil {
+		return nil, fmt.Errorf("filter: branch b: %w", err)
+	}
+	i0, v0, err := information(prior)
+	if err != nil {
+		return nil, fmt.Errorf("filter: prior: %w", err)
+	}
+
+	// Fused information matrix and vector.
+	ia.Add(ib)
+	ia.Sub(i0)
+	mat.AddVec(va, va, vb)
+	mat.SubVec(va, va, v0)
+
+	// Recover moments: C_f = I_f⁻¹, x_f = C_f·v_f.
+	l := ia.Clone()
+	if err := mat.Cholesky(l); err != nil {
+		return nil, fmt.Errorf("filter: fused information not positive definite: %w", err)
+	}
+	out := &State{X: va, C: mat.Identity(n)}
+	mat.SolveCholRows(l, out.C) // rows of I solve to rows of I_f⁻¹ (symmetric)
+	mat.CholeskySolve(l, out.X)
+	out.C.Symmetrize()
+	return out, nil
+}
+
+// information converts a moment-form state into information form, returning
+// I = C⁻¹ and v = C⁻¹·x.
+func information(s *State) (*mat.Mat, []float64, error) {
+	n := s.Dim()
+	l := s.C.Clone()
+	if err := mat.Cholesky(l); err != nil {
+		return nil, nil, err
+	}
+	info := mat.Identity(n)
+	mat.SolveCholRows(l, info)
+	info.Symmetrize()
+	v := append([]float64(nil), s.X...)
+	mat.CholeskySolve(l, v)
+	return info, v, nil
+}
+
+// CombineAll fuses any number of independently updated branches pairwise in
+// the tournament fashion described in §4.1.
+func CombineAll(prior *State, branches []*State) (*State, error) {
+	switch len(branches) {
+	case 0:
+		return prior.Clone(), nil
+	case 1:
+		return branches[0].Clone(), nil
+	}
+	round := append([]*State(nil), branches...)
+	for len(round) > 1 {
+		var next []*State
+		for i := 0; i+1 < len(round); i += 2 {
+			// Each pairwise fusion removes one copy of the shared prior.
+			f, err := Combine(prior, round[i], round[i+1])
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, f)
+		}
+		if len(round)%2 == 1 {
+			next = append(next, round[len(round)-1])
+		}
+		round = next
+	}
+	return round[0], nil
+}

@@ -1,0 +1,165 @@
+package filter
+
+import (
+	"math"
+
+	"phmse/internal/constraint"
+	"phmse/internal/geom"
+	"phmse/internal/mat"
+	"phmse/internal/par"
+	"phmse/internal/trace"
+)
+
+// SolveOptions configures the cycle-to-convergence driver.
+type SolveOptions struct {
+	// BatchSize is the scalar constraint batch dimension (default 16, the
+	// optimum identified by the paper's Table 2 experiment).
+	BatchSize int
+	// MaxCycles caps the number of complete passes over the constraint set
+	// (the paper reports 20–200 cycles to convergence; default 100).
+	MaxCycles int
+	// Tol stops the iteration when the RMS coordinate change over one
+	// cycle falls below it (default 1e-3 Å).
+	Tol float64
+	// InitVar is the isotropic coordinate variance the covariance is reset
+	// to at the start of every cycle (default 100 Å²).
+	InitVar float64
+	// Team provides intra-update parallelism (default: sequential).
+	Team *par.Team
+	// Rec, when non-nil, accumulates per-operation-class timing.
+	Rec *trace.Collector
+	// MaxStep clamps each batch's state update to this infinity-norm trust
+	// radius (see Updater.MaxStep). Zero selects the default of 2 Å, which
+	// keeps the iterated filter inside its linearization range; negative
+	// disables the clamp (the paper's raw update).
+	MaxStep float64
+	// Joseph selects the numerically robust Joseph-form covariance update
+	// (see Updater.Joseph).
+	Joseph bool
+	// GateSigma, when positive, enables innovation gating of outlier
+	// observations (see Updater.GateSigma).
+	GateSigma float64
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-3
+	}
+	if o.InitVar <= 0 {
+		o.InitVar = 100
+	}
+	o.MaxStep = NormalizeMaxStep(o.MaxStep)
+	return o
+}
+
+// DefaultMaxStep is the default per-batch trust radius (Å).
+const DefaultMaxStep = 2.0
+
+// NormalizeMaxStep maps the option convention (0 → default, negative →
+// disabled) onto the Updater's raw field (0 = off).
+func NormalizeMaxStep(v float64) float64 {
+	switch {
+	case v == 0:
+		return DefaultMaxStep
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}
+
+// Result summarizes a Solve run.
+type Result struct {
+	Cycles    int     // complete passes over the constraint set
+	Converged bool    // RMS change fell below Tol before MaxCycles
+	RMSChange float64 // RMS coordinate change over the final cycle
+	Residual  float64 // RMS weighted constraint residual at the solution
+}
+
+// Solve estimates the structure from all constraints in the flat (single
+// node) organization: because of the nonlinear measurement functions it
+// re-initializes the covariance and repeats the cycle of updates until the
+// estimate converges to an equilibrium point.
+func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, error) {
+	opt = opt.withDefaults()
+	batches, err := MakeBatches(cons, func(a int) int { return a }, opt.BatchSize)
+	if err != nil {
+		return Result{}, err
+	}
+	u := &Updater{Team: opt.Team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma}
+	res := Result{}
+	prev := append([]float64(nil), s.X...)
+	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
+		s.ResetCovariance(opt.InitVar)
+		if _, err := u.ApplyAll(s, batches); err != nil {
+			return res, err
+		}
+		res.Cycles = cycle + 1
+		diff := make([]float64, len(prev))
+		mat.SubVec(diff, s.X, prev)
+		res.RMSChange = mat.RMS(diff)
+		copy(prev, s.X)
+		if res.RMSChange < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Residual = WeightedResidual(s, cons)
+	return res, nil
+}
+
+// WeightedResidual returns the RMS of (z − h(x))/σ over all scalar
+// observations (inactive gated constraints contribute zero).
+func WeightedResidual(s *State, cons []constraint.Constraint) float64 {
+	sum, count := 0.0, 0
+	for _, c := range cons {
+		sum += residualOf(s, c)
+		count += c.Dim()
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Sqrt(sum / float64(count))
+}
+
+func residualOf(s *State, c constraint.Constraint) float64 {
+	atoms := c.Atoms()
+	pos := make([]geom.Vec3, len(atoms))
+	for k, a := range atoms {
+		pos[k] = s.Pos(a)
+	}
+	if g, ok := c.(constraint.Gated); ok && !g.Active(pos) {
+		return 0
+	}
+	dim := c.Dim()
+	h := make([]float64, dim)
+	jac := make([][]float64, dim)
+	for d := range jac {
+		jac[d] = make([]float64, 3*len(atoms))
+	}
+	c.Eval(pos, h, jac)
+	z := make([]float64, dim)
+	r := make([]float64, dim)
+	c.Observed(z, r)
+	var wrap []bool
+	if p, ok := c.(constraint.Periodic); ok {
+		wrap = p.PeriodicRows()
+	}
+	sum := 0.0
+	for d := 0; d < dim; d++ {
+		diff := z[d] - h[d]
+		if wrap != nil && wrap[d] {
+			diff = wrapAngle(diff)
+		}
+		if r[d] > 0 {
+			sum += diff * diff / r[d]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,229 @@
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"phmse/internal/mat"
+	"phmse/internal/par"
+	"phmse/internal/trace"
+)
+
+// Updater applies constraint batches to a state estimate using the paper's
+// Figure 1 procedure. The Team controls intra-update parallelism (the
+// paper's intra-node axis); the Collector, when non-nil, accounts wall-clock
+// time and flop counts per operation class exactly as Tables 3–6 do.
+type Updater struct {
+	Team *par.Team
+	Rec  *trace.Collector
+	// MaxStep, when positive, clamps the per-batch state update to the
+	// given infinity-norm trust radius (Å). Strongly nonlinear observation
+	// models (torsions, angles) can overshoot their linearization range
+	// when the prior variance is large; the clamp is the standard iterated
+	// EKF damping remedy. Zero disables it.
+	MaxStep float64
+	// Joseph selects the Joseph-form covariance update
+	// C⁺ = (I−KH)·C⁻·(I−KH)ᵀ + K·R·Kᵀ, which preserves symmetry and
+	// positive semidefiniteness under round-off at roughly three times the
+	// m-m cost of the paper's simple form C⁺ = C⁻ − K·(H·C⁻).
+	Joseph bool
+	// GateSigma, when positive, applies innovation gating: any scalar
+	// observation whose normalized innovation |ν|/√S exceeds the gate is
+	// deweighted to near-irrelevance for this batch — the classic filter
+	// defense against grossly wrong measurements. Gated observations are
+	// counted in Gated; they are reconsidered at the next linearization.
+	GateSigma float64
+	// Gated accumulates the number of scalar observations gated out.
+	Gated int
+
+	// ws holds grown scratch buffers reused across batches — the Go
+	// counterpart of the paper's §5 observation that careful memory
+	// management of the per-node temporaries pays off. An Updater is not
+	// safe for concurrent use (the hierarchical solver creates one per
+	// node).
+	ws workspace
+}
+
+// workspace is the per-updater scratch arena: backing slices grow to the
+// high-water mark and are re-sliced per batch.
+type workspace struct {
+	aBuf, haBuf, sBuf, kBuf, wBuf []float64
+	nu, dx                        []float64
+}
+
+// matOf slices an r×c matrix out of a grown backing buffer.
+func matOf(buf *[]float64, r, c int) *mat.Mat {
+	need := r * c
+	if cap(*buf) < need {
+		*buf = make([]float64, need)
+	}
+	*buf = (*buf)[:need]
+	for i := range *buf {
+		(*buf)[i] = 0
+	}
+	return &mat.Mat{Rows: r, Cols: c, Stride: c, Data: *buf}
+}
+
+func vecOf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func (u *Updater) team() *par.Team {
+	if u.Team == nil {
+		return par.NewTeam(1)
+	}
+	return u.Team
+}
+
+// Apply performs one measurement update of s with the batch (Figure 1):
+//
+//	H  = ∂h/∂x at x⁻            (sparse, m×n)
+//	A  = C⁻Hᵀ                   (d-s)
+//	S  = H·A + R                (d-s)
+//	S  = L·Lᵀ                   (chol)
+//	K  = A·S⁻¹                  (sys: two triangular solves per row)
+//	x⁺ = x⁻ + K·(z − h(x⁻))     (m-v, vec)
+//	C⁺ = C⁻ − K·Aᵀ              (m-m)
+//
+// Gated constraints that are inactive at x⁻ are skipped. Apply reports
+// (handled, err): handled is the number of scalar observations applied.
+func (u *Updater) Apply(s *State, b *Batch) (int, error) {
+	asm := b.assemble(s)
+	if asm == nil {
+		return 0, nil
+	}
+	team := u.team()
+	n := s.Dim()
+	m := len(asm.z)
+	nnz := float64(asm.jac.NNZ())
+
+	// A = C·Hᵀ and H·A: the dense-sparse products (computed once; trust-
+	// region retries below only redo the small m×m work).
+	a := matOf(&u.ws.aBuf, n, m)
+	ha := matOf(&u.ws.haBuf, m, m)
+	u.Rec.Timed(trace.DenseSparse, 2*float64(n)*nnz+2*nnz*float64(m), func() {
+		asm.jac.DenseMulTPar(team, a, s.C)
+		asm.jac.MulDensePar(team, ha, a)
+	})
+
+	// Innovation ν = z − h(x⁻); 2π-periodic observations (torsions) wrap
+	// into (−π, π] so the estimate is pulled the short way around.
+	nu := vecOf(&u.ws.nu, m)
+	u.Rec.Timed(trace.VecOp, float64(m), func() {
+		mat.SubVec(nu, asm.z, asm.h)
+		for i, w := range asm.wrap {
+			if w {
+				nu[i] = wrapAngle(nu[i])
+			}
+		}
+	})
+
+	// Innovation gating: deweight scalar rows whose innovation is wildly
+	// inconsistent with the predicted uncertainty S_ii = (H·A)_ii + R_ii.
+	if u.GateSigma > 0 {
+		for i := 0; i < m; i++ {
+			sii := ha.At(i, i) + asm.r[i]
+			if sii <= 0 {
+				continue
+			}
+			if nu[i]*nu[i] > u.GateSigma*u.GateSigma*sii {
+				asm.r[i] *= 1e6
+				u.Gated++
+			}
+		}
+	}
+
+	// Trust region by measurement deweighting: if the proposed step leaves
+	// the MaxStep radius, the batch is reapplied with inflated measurement
+	// noise R ← λ·R — a consistent Kalman update for noisier data, unlike
+	// clamping the step vector, which would desynchronize the covariance
+	// from the mean. λ grows geometrically until the step fits.
+	sMat := matOf(&u.ws.sBuf, m, m)
+	k := matOf(&u.ws.kBuf, n, m)
+	dx := vecOf(&u.ws.dx, n)
+	lambda := 1.0
+	const maxRetries = 6
+	for try := 0; ; try++ {
+		// S = H·A + λ·R and its factorization.
+		u.Rec.Timed(trace.VecOp, float64(m), func() {
+			sMat.CopyFrom(ha)
+			for i := 0; i < m; i++ {
+				sMat.Set(i, i, sMat.At(i, i)+lambda*asm.r[i])
+			}
+		})
+		var cholErr error
+		u.Rec.Timed(trace.Chol, float64(m)*float64(m)*float64(m)/3, func() {
+			cholErr = mat.CholeskyPar(team, sMat)
+		})
+		if cholErr != nil {
+			return 0, fmt.Errorf("filter: innovation covariance (m=%d): %w", m, cholErr)
+		}
+		// Filter gain K = A·S⁻¹ via triangular solves on each state row.
+		u.Rec.Timed(trace.VecOp, float64(n*m), func() { k.CopyFrom(a) })
+		u.Rec.Timed(trace.Solve, 2*float64(n)*float64(m)*float64(m), func() {
+			mat.SolveCholRowsPar(team, sMat, k)
+		})
+		u.Rec.Timed(trace.MatVec, 2*float64(n)*float64(m), func() {
+			mat.MulVecPar(team, dx, k, nu)
+		})
+		if u.MaxStep <= 0 || mat.NormInf(dx) <= u.MaxStep || try >= maxRetries {
+			break
+		}
+		lambda *= 4
+	}
+	u.Rec.Timed(trace.VecOp, float64(n), func() {
+		mat.Axpy(1, dx, s.X)
+	})
+
+	// Covariance update, then re-symmetrization to suppress round-off
+	// drift. The default is the paper's simple form C ← C − K·Aᵀ; Joseph
+	// form expands algebraically to C − K·Aᵀ − A·Kᵀ + (K·L)(K·L)ᵀ using
+	// the Cholesky factor L of the innovation covariance, since
+	// K·S·Kᵀ = (K·L)(K·L)ᵀ.
+	if u.Joseph {
+		u.Rec.Timed(trace.MatMat, 6*float64(n)*float64(n)*float64(m), func() {
+			mat.MulSubNTPar(team, s.C, k, a)
+			mat.MulSubNTPar(team, s.C, a, k)
+			w := matOf(&u.ws.wBuf, n, m)
+			mat.MulPar(team, w, k, sMat) // sMat holds L after factorization
+			mat.MulAddNTPar(team, s.C, w, w)
+		})
+	} else {
+		u.Rec.Timed(trace.MatMat, 2*float64(n)*float64(n)*float64(m), func() {
+			mat.MulSubNTPar(team, s.C, k, a)
+		})
+	}
+	u.Rec.Timed(trace.VecOp, float64(n)*float64(n)/2, func() {
+		mat.SymmetrizePar(team, s.C)
+	})
+	return m, nil
+}
+
+// wrapAngle maps an angular difference into (−π, π].
+func wrapAngle(d float64) float64 {
+	for d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	for d <= -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}
+
+// ApplyAll applies every batch in order, returning the total number of
+// scalar observations applied.
+func (u *Updater) ApplyAll(s *State, batches []*Batch) (int, error) {
+	total := 0
+	for _, b := range batches {
+		m, err := u.Apply(s, b)
+		if err != nil {
+			return total, err
+		}
+		total += m
+	}
+	return total, nil
+}

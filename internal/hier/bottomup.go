@@ -1,0 +1,136 @@
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"phmse/internal/constraint"
+	"phmse/internal/molecule"
+)
+
+// GroupLeaves builds a structure hierarchy bottom-up from user-specified
+// leaf groups — the paper's §5 alternative to top-down decomposition, where
+// the leaves are the natural building blocks (nucleotides, residues) that
+// already encapsulate interaction locality. Clusters are merged greedily,
+// each step joining the pair connected by the largest number of scalar
+// constraints, so that as many constraints as possible become applicable
+// low in the tree.
+func GroupLeaves(leaves []*molecule.Group, cons []constraint.Constraint) *molecule.Group {
+	switch len(leaves) {
+	case 0:
+		return &molecule.Group{Name: "empty"}
+	case 1:
+		return leaves[0]
+	}
+
+	// Active clusters; each starts as one leaf.
+	clusters := make([]*molecule.Group, len(leaves))
+	copy(clusters, leaves)
+	alive := make([]bool, len(leaves))
+	clusterOf := map[int]int{} // atom → cluster index
+	for ci, l := range leaves {
+		alive[ci] = true
+		for _, a := range l.Atoms() {
+			clusterOf[a] = ci
+		}
+	}
+
+	// A constraint is "pending" while its atoms span more than one cluster.
+	type pending struct {
+		dim      int
+		clusters map[int]bool
+	}
+	var pend []*pending
+	for _, c := range cons {
+		p := &pending{dim: c.Dim(), clusters: map[int]bool{}}
+		for _, a := range c.Atoms() {
+			if ci, ok := clusterOf[a]; ok {
+				p.clusters[ci] = true
+			}
+		}
+		if len(p.clusters) > 1 {
+			pend = append(pend, p)
+		}
+	}
+
+	merges := 0
+	for remaining := len(leaves); remaining > 1; remaining-- {
+		// Pairwise affinity: scalar dimension of constraints that would
+		// become fully contained by merging exactly that pair.
+		type key [2]int
+		weight := map[key]int{}
+		for _, p := range pend {
+			if len(p.clusters) != 2 {
+				continue
+			}
+			var pair []int
+			for ci := range p.clusters {
+				pair = append(pair, ci)
+			}
+			sort.Ints(pair)
+			weight[key{pair[0], pair[1]}] += p.dim
+		}
+		// Best pair; deterministic tie-break on indices. When no pair is
+		// directly connected, merge the two smallest clusters.
+		bestA, bestB, bestW := -1, -1, -1
+		var keys []key
+		for k := range weight {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			if weight[k] > bestW {
+				bestA, bestB, bestW = k[0], k[1], weight[k]
+			}
+		}
+		if bestA < 0 {
+			var aliveIdx []int
+			for ci, ok := range alive {
+				if ok {
+					aliveIdx = append(aliveIdx, ci)
+				}
+			}
+			sort.Slice(aliveIdx, func(i, j int) bool {
+				return len(clusters[aliveIdx[i]].Atoms()) < len(clusters[aliveIdx[j]].Atoms())
+			})
+			bestA, bestB = aliveIdx[0], aliveIdx[1]
+			if bestA > bestB {
+				bestA, bestB = bestB, bestA
+			}
+		}
+
+		// Merge B into a new parent cluster stored at slot A.
+		merges++
+		parent := &molecule.Group{
+			Name:     fmt.Sprintf("merge%d", merges),
+			Children: []*molecule.Group{clusters[bestA], clusters[bestB]},
+		}
+		clusters[bestA] = parent
+		alive[bestB] = false
+		for _, p := range pend {
+			if p.clusters[bestB] {
+				delete(p.clusters, bestB)
+				p.clusters[bestA] = true
+			}
+		}
+		// Drop now-internal constraints.
+		var still []*pending
+		for _, p := range pend {
+			if len(p.clusters) > 1 {
+				still = append(still, p)
+			}
+		}
+		pend = still
+	}
+	for ci, ok := range alive {
+		if ok {
+			return clusters[ci]
+		}
+	}
+	return nil // unreachable: one cluster always survives
+}

@@ -1,0 +1,220 @@
+// Package hier implements the paper's hierarchical decomposition (§3): the
+// structure tree, the assignment of every constraint to the smallest node
+// wholly containing it, the post-order update schedule, and the parallel
+// execution of disjoint subtrees by processor groups (§4.2). It also
+// provides the automatic decomposition methods sketched in §5: recursive
+// bisection of a flat specification and constraint-graph partitioning.
+package hier
+
+import (
+	"fmt"
+	"sort"
+
+	"phmse/internal/constraint"
+	"phmse/internal/filter"
+	"phmse/internal/molecule"
+)
+
+// Node is one node of the structure hierarchy. Its state vector is the
+// concatenation of its children's state vectors followed by any atoms it
+// owns directly, so a child's posterior estimate maps onto a contiguous
+// block of the parent's state.
+type Node struct {
+	Name     string
+	Children []*Node
+	Direct   []int // atoms owned directly (all of them, for a leaf)
+	Atoms    []int // subtree atoms: children's blocks in order, then Direct
+	Cons     []constraint.Constraint
+
+	parent   *Node
+	childOf  map[int]int // atom → child index (for constraint assignment)
+	localIdx map[int]int // atom → local state slot
+	batches  []*filter.Batch
+}
+
+// Build mirrors a molecule.Group tree into a Node tree and assigns every
+// constraint to the lowest node that contains all of its atoms. It returns
+// an error if a constraint references an atom outside the tree or an atom
+// appears in two leaves.
+func Build(root *molecule.Group, cons []constraint.Constraint) (*Node, error) {
+	node, err := fromGroup(root, map[int]bool{})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cons {
+		if err := node.assign(c); err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+func fromGroup(g *molecule.Group, seen map[int]bool) (*Node, error) {
+	n := &Node{Name: g.Name, Direct: append([]int(nil), g.AtomIDs...)}
+	sort.Ints(n.Direct)
+	for _, a := range n.Direct {
+		if seen[a] {
+			return nil, fmt.Errorf("hier: atom %d owned by two groups", a)
+		}
+		seen[a] = true
+	}
+	n.childOf = make(map[int]int)
+	for ci, cg := range g.Children {
+		child, err := fromGroup(cg, seen)
+		if err != nil {
+			return nil, err
+		}
+		child.parent = n
+		n.Children = append(n.Children, child)
+		for _, a := range child.Atoms {
+			n.childOf[a] = ci
+		}
+		n.Atoms = append(n.Atoms, child.Atoms...)
+	}
+	n.Atoms = append(n.Atoms, n.Direct...)
+	n.localIdx = make(map[int]int, len(n.Atoms))
+	for i, a := range n.Atoms {
+		n.localIdx[a] = i
+	}
+	if len(n.Atoms) == 0 {
+		return nil, fmt.Errorf("hier: group %q has no atoms", g.Name)
+	}
+	return n, nil
+}
+
+// assign pushes the constraint to the lowest node containing all its atoms.
+func (n *Node) assign(c constraint.Constraint) error {
+	atoms := c.Atoms()
+	node := n
+descend:
+	for {
+		child := -1
+		for i, a := range atoms {
+			ci, ok := node.childOf[a]
+			if !ok {
+				// Atom owned directly by this node (or missing entirely).
+				if _, here := node.localIdx[a]; !here {
+					return fmt.Errorf("hier: constraint %v references atom %d outside the tree", c, a)
+				}
+				break descend
+			}
+			if i == 0 {
+				child = ci
+			} else if ci != child {
+				break descend // atoms span two children: it belongs here
+			}
+		}
+		node = node.Children[child]
+	}
+	// Validate remaining atoms exist in the subtree.
+	for _, a := range atoms {
+		if _, ok := node.localIdx[a]; !ok {
+			return fmt.Errorf("hier: constraint %v references atom %d outside the tree", c, a)
+		}
+	}
+	node.Cons = append(node.Cons, c)
+	return nil
+}
+
+// Prepare builds the per-node constraint batches for the given batch size.
+// It must be called (once) before Solve or a virtual-machine run.
+func (n *Node) Prepare(batchSize int) error {
+	local := n.localIdx
+	batches, err := filter.MakeBatches(n.Cons, func(a int) int {
+		if s, ok := local[a]; ok {
+			return s
+		}
+		return -1
+	}, batchSize)
+	if err != nil {
+		return fmt.Errorf("node %q: %w", n.Name, err)
+	}
+	n.batches = batches
+	for _, c := range n.Children {
+		if err := c.Prepare(batchSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Batches returns the prepared constraint batches of this node.
+func (n *Node) Batches() []*filter.Batch { return n.batches }
+
+// StateDim returns the node's state dimension (3 × subtree atoms).
+func (n *Node) StateDim() int { return 3 * len(n.Atoms) }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Parent returns the node's parent (nil at the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Walk visits the subtree in pre-order.
+func (n *Node) Walk(f func(*Node)) {
+	f(n)
+	for _, c := range n.Children {
+		c.Walk(f)
+	}
+}
+
+// Count returns the number of nodes in the subtree.
+func (n *Node) Count() int {
+	total := 0
+	n.Walk(func(*Node) { total++ })
+	return total
+}
+
+// ScalarConstraints returns the total scalar constraint dimension assigned
+// in the subtree.
+func (n *Node) ScalarConstraints() int {
+	total := 0
+	n.Walk(func(m *Node) {
+		for _, c := range m.Cons {
+			total += c.Dim()
+		}
+	})
+	return total
+}
+
+// MaxDepth returns the height of the subtree (a leaf is 1).
+func (n *Node) MaxDepth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.MaxDepth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+func (n *Node) String() string {
+	kind := "node"
+	if n.IsLeaf() {
+		kind = "leaf"
+	}
+	return fmt.Sprintf("%s %q: %d atoms, %d constraints, %d children",
+		kind, n.Name, len(n.Atoms), len(n.Cons), len(n.Children))
+}
+
+// Dump renders the subtree as an indented outline (used to reproduce the
+// paper's Figure 2 and Figure 4 decomposition diagrams in text form).
+func (n *Node) Dump() string {
+	out := ""
+	var rec func(m *Node, depth int)
+	rec = func(m *Node, depth int) {
+		for i := 0; i < depth; i++ {
+			out += "  "
+		}
+		scalar := 0
+		for _, c := range m.Cons {
+			scalar += c.Dim()
+		}
+		out += fmt.Sprintf("%s (%d atoms, %d constraints)\n", m.Name, len(m.Atoms), scalar)
+		for _, c := range m.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return out
+}

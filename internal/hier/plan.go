@@ -1,0 +1,82 @@
+package hier
+
+import "fmt"
+
+// ChildGroup is a set of sibling subtrees executed sequentially by one
+// processor group; different groups of the same parent run concurrently.
+type ChildGroup struct {
+	Nodes []*Node
+	Procs int
+}
+
+// ExecPlan maps each internal node to the partition of its children into
+// concurrently executing processor groups, the output of the paper's §4.3
+// static assignment heuristic (package sched). A nil or empty plan executes
+// children sequentially with the full team — pure intra-node parallelism.
+type ExecPlan struct {
+	Groups map[*Node][]ChildGroup
+}
+
+// NewExecPlan returns an empty plan.
+func NewExecPlan() *ExecPlan { return &ExecPlan{Groups: make(map[*Node][]ChildGroup)} }
+
+// groupsFor returns the child groups for the node, or nil when the plan has
+// no entry (sequential execution).
+func (p *ExecPlan) groupsFor(n *Node) []ChildGroup {
+	if p == nil || p.Groups == nil {
+		return nil
+	}
+	return p.Groups[n]
+}
+
+// Validate checks that every plan entry partitions the node's children and
+// that processor counts are positive and sum to totals consistent with a
+// team of size procs at the root.
+func (p *ExecPlan) Validate(root *Node, procs int) error {
+	if p == nil {
+		return nil
+	}
+	var check func(n *Node, procs int) error
+	check = func(n *Node, procs int) error {
+		groups := p.groupsFor(n)
+		if groups == nil {
+			// Sequential below this point; nothing further to check.
+			return nil
+		}
+		seen := map[*Node]bool{}
+		total := 0
+		for _, g := range groups {
+			if g.Procs < 1 {
+				return fmt.Errorf("hier: node %q: group with %d processors", n.Name, g.Procs)
+			}
+			if len(g.Nodes) == 0 {
+				return fmt.Errorf("hier: node %q: empty child group", n.Name)
+			}
+			total += g.Procs
+			for _, c := range g.Nodes {
+				if c.parent != n {
+					return fmt.Errorf("hier: node %q: group contains non-child %q", n.Name, c.Name)
+				}
+				if seen[c] {
+					return fmt.Errorf("hier: node %q: child %q in two groups", n.Name, c.Name)
+				}
+				seen[c] = true
+			}
+		}
+		if len(seen) != len(n.Children) {
+			return fmt.Errorf("hier: node %q: plan covers %d of %d children", n.Name, len(seen), len(n.Children))
+		}
+		if total != procs {
+			return fmt.Errorf("hier: node %q: groups use %d processors, team has %d", n.Name, total, procs)
+		}
+		for _, g := range groups {
+			for _, c := range g.Nodes {
+				if err := check(c, g.Procs); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return check(root, procs)
+}

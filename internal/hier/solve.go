@@ -1,0 +1,207 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"phmse/internal/filter"
+	"phmse/internal/geom"
+	"phmse/internal/mat"
+	"phmse/internal/par"
+	"phmse/internal/trace"
+)
+
+// Options configures the hierarchical solver.
+type Options struct {
+	BatchSize int     // scalar batch dimension (default 16)
+	MaxCycles int     // complete passes over the tree (default 100)
+	Tol       float64 // RMS coordinate change to declare convergence (default 1e-3)
+	InitVar   float64 // leaf-level initial coordinate variance (default 100)
+	Team      *par.Team
+	Plan      *ExecPlan
+	Rec       *trace.Collector
+	// MaxStep is the per-batch trust radius: 0 selects the 2 Å default,
+	// negative disables the clamp. See filter.Updater.MaxStep.
+	MaxStep float64
+	// Joseph selects the numerically robust Joseph-form covariance update
+	// (see filter.Updater.Joseph).
+	Joseph bool
+	// GateSigma, when positive, enables innovation gating of outlier
+	// observations (see filter.Updater.GateSigma).
+	GateSigma float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = filter.DefaultBatchSize
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 100
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-3
+	}
+	if o.InitVar <= 0 {
+		o.InitVar = 100
+	}
+	if o.Team == nil {
+		o.Team = par.NewTeam(1)
+	}
+	o.MaxStep = filter.NormalizeMaxStep(o.MaxStep)
+	return o
+}
+
+// Result summarizes a hierarchical solve.
+type Result struct {
+	Cycles    int
+	Converged bool
+	RMSChange float64
+}
+
+// Solve runs the hierarchical estimation to convergence: each cycle updates
+// the tree post-order (children before parents, disjoint subtrees in
+// parallel according to the plan), then the root estimate feeds the next
+// cycle's linearization points. It returns the root state, whose atom
+// ordering is root.Atoms.
+func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, error) {
+	opt = opt.withDefaults()
+	if root.batches == nil {
+		if err := root.Prepare(opt.BatchSize); err != nil {
+			return nil, Result{}, err
+		}
+	}
+	if err := opt.Plan.Validate(root, opt.Team.Size()); err != nil {
+		return nil, Result{}, err
+	}
+	positions := append([]geom.Vec3(nil), init...)
+	var state *filter.State
+	res := Result{}
+	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
+		var err error
+		state, err = UpdatePass(root, positions, opt)
+		if err != nil {
+			return nil, res, err
+		}
+		res.Cycles = cycle + 1
+
+		// Write the root estimate back to the global position buffer and
+		// measure the change.
+		sum := 0.0
+		for i, a := range root.Atoms {
+			p := state.Pos(i)
+			sum += p.Sub(positions[a]).Norm2()
+			positions[a] = p
+		}
+		res.RMSChange = rms(sum, 3*len(root.Atoms))
+		if res.RMSChange < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	return state, res, nil
+}
+
+func rms(sumSquares float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sumSquares / float64(n))
+}
+
+// UpdatePass performs one post-order pass over the tree (one cycle) from
+// the given linearization positions and returns the root state.
+func UpdatePass(root *Node, positions []geom.Vec3, opt Options) (*filter.State, error) {
+	opt = opt.withDefaults()
+	return updateNode(root, positions, opt, opt.Team)
+}
+
+// updateNode computes the posterior state of one node: children first
+// (possibly in parallel processor groups), then the node's own constraints.
+func updateNode(n *Node, positions []geom.Vec3, opt Options, team *par.Team) (*filter.State, error) {
+	childStates := make([]*filter.State, len(n.Children))
+	groups := opt.Plan.groupsFor(n)
+	switch {
+	case len(n.Children) == 0:
+		// Leaf: fresh state from the current linearization positions.
+	case groups == nil || team.Size() == 1 || len(groups) == 1:
+		// Sequential children, full team each.
+		for i, c := range n.Children {
+			s, err := updateNode(c, positions, opt, team)
+			if err != nil {
+				return nil, err
+			}
+			childStates[i] = s
+		}
+	default:
+		// Parallel processor groups over disjoint subtrees: the new axis of
+		// parallelism exposed by the hierarchy.
+		sizes := make([]int, len(groups))
+		for i, g := range groups {
+			sizes[i] = g.Procs
+		}
+		teams := team.SplitN(sizes)
+		index := make(map[*Node]int, len(n.Children))
+		for i, c := range n.Children {
+			index[c] = i
+		}
+		var mu sync.Mutex
+		var firstErr error
+		thunks := make([]func(), len(groups))
+		for gi, g := range groups {
+			gi, g := gi, g
+			thunks[gi] = func() {
+				for _, c := range g.Nodes {
+					s, err := updateNode(c, positions, opt, teams[gi])
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					mu.Lock()
+					childStates[index[c]] = s
+					mu.Unlock()
+				}
+			}
+		}
+		par.Parallel(thunks...)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	s := assemble(n, childStates, positions, opt.InitVar)
+	u := &filter.Updater{Team: team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma}
+	if _, err := u.ApplyAll(s, n.batches); err != nil {
+		return nil, fmt.Errorf("node %q: %w", n.Name, err)
+	}
+	return s, nil
+}
+
+// assemble builds the node's prior state: children posteriors as
+// uncorrelated diagonal blocks (their mutual covariance is zero until the
+// node's own cross-boundary constraints fill it in), then the node's direct
+// atoms with fresh isotropic covariance.
+func assemble(n *Node, childStates []*filter.State, positions []geom.Vec3, initVar float64) *filter.State {
+	dim := n.StateDim()
+	s := &filter.State{X: make([]float64, dim), C: mat.New(dim, dim)}
+	off := 0
+	for i, cs := range childStates {
+		cd := n.Children[i].StateDim()
+		copy(s.X[off:off+cd], cs.X)
+		s.C.View(off, off, cd, cd).CopyFrom(cs.C)
+		off += cd
+	}
+	for _, a := range n.Direct {
+		p := positions[a]
+		s.X[off], s.X[off+1], s.X[off+2] = p[0], p[1], p[2]
+		for c := 0; c < 3; c++ {
+			s.C.Set(off+c, off+c, initVar)
+		}
+		off += 3
+	}
+	return s
+}

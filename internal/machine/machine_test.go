@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phmse/internal/trace"
+)
+
+func TestMachineConstruction(t *testing.T) {
+	for _, m := range []*Machine{DASH(), Challenge()} {
+		if m.MaxProcs < 2 || m.ClusterSize < 1 {
+			t.Fatalf("%s: bad topology", m.Name)
+		}
+		for c := trace.Class(0); c < trace.NumClasses; c++ {
+			if m.ClassRate[c] <= 0 {
+				t.Fatalf("%s: class %v rate %g", m.Name, c, m.ClassRate[c])
+			}
+			if m.SerialFrac[c] < 0 || m.SerialFrac[c] >= 1 {
+				t.Fatalf("%s: class %v serial fraction %g", m.Name, c, m.SerialFrac[c])
+			}
+		}
+	}
+	if DASH().ClusterSize >= DASH().MaxProcs {
+		t.Fatal("DASH must be clustered")
+	}
+	if Challenge().ClusterSize != Challenge().MaxProcs {
+		t.Fatal("Challenge must be centralized")
+	}
+}
+
+func TestWallSingleProcessorIsBaseTime(t *testing.T) {
+	m := DASH()
+	op := Op{Class: trace.MatMat, Flops: 1e6, Workset: 1000}
+	want := 1e6 / m.ClassRate[trace.MatMat]
+	if got := m.Wall(op, 1); got != want {
+		t.Fatalf("Wall(1) = %g, want %g", got, want)
+	}
+	// Invalid processor counts clamp to 1.
+	if m.Wall(op, 0) != want || m.Wall(op, -3) != want {
+		t.Fatal("p < 1 not clamped")
+	}
+}
+
+func TestWallLargeOpsScaleDown(t *testing.T) {
+	for _, m := range []*Machine{DASH(), Challenge()} {
+		op := Op{Class: trace.MatMat, Flops: 1e9, Workset: 8192}
+		prev := m.Wall(op, 1)
+		for p := 2; p <= m.MaxProcs; p *= 2 {
+			got := m.Wall(op, p)
+			if got >= prev {
+				t.Fatalf("%s: wall grew from %g to %g at p=%d", m.Name, prev, got, p)
+			}
+			prev = got
+		}
+		// Speedup must be sub-linear (overheads) but substantial.
+		s := m.Wall(op, 1) / m.Wall(op, m.MaxProcs)
+		if s > float64(m.MaxProcs) || s < float64(m.MaxProcs)/2 {
+			t.Fatalf("%s: m-m speedup %g at %d procs", m.Name, s, m.MaxProcs)
+		}
+	}
+}
+
+func TestWallTinyOpsDominatedBySync(t *testing.T) {
+	m := DASH()
+	op := Op{Class: trace.VecOp, Flops: 100, Workset: 800}
+	if m.Wall(op, 16) <= m.Wall(op, 1) {
+		t.Fatal("tiny op should get slower with more processors (barrier cost)")
+	}
+}
+
+func TestCholeskyScalesPoorly(t *testing.T) {
+	// The per-batch innovation matrices are small; Amdahl + sync must keep
+	// the Cholesky speedup far from ideal, as the paper observes.
+	m := DASH()
+	op := Op{Class: trace.Chol, Flops: 16 * 16 * 16 / 3, Workset: 2048}
+	s := m.Wall(op, 1) / m.Wall(op, 32)
+	if s > 10 {
+		t.Fatalf("small Cholesky speedup %g, want well below 10", s)
+	}
+}
+
+func TestRemoteMultClusterBoundaries(t *testing.T) {
+	m := DASH()
+	// Within one cluster there are no remote misses.
+	if got := m.remoteMult(trace.DenseSparse, 4); got != 1 {
+		t.Fatalf("remoteMult(4) = %g", got)
+	}
+	// Crossing into a second cluster introduces them.
+	if got := m.remoteMult(trace.DenseSparse, 5); got <= 1 {
+		t.Fatalf("remoteMult(5) = %g", got)
+	}
+	// And the penalty grows with cluster count.
+	if m.remoteMult(trace.DenseSparse, 32) <= m.remoteMult(trace.DenseSparse, 8) {
+		t.Fatal("remote penalty not monotone in clusters")
+	}
+}
+
+func TestCacheMult(t *testing.T) {
+	m := DASH()
+	small := Op{Class: trace.MatVec, Flops: 1, Workset: 1000}
+	if m.cacheMult(small, 1) != 1 {
+		t.Fatal("cache-resident op penalized")
+	}
+	big := Op{Class: trace.MatVec, Flops: 1, Workset: 64 << 20}
+	if m.cacheMult(big, 1) <= 1 {
+		t.Fatal("cache-overflowing op not penalized")
+	}
+	// Splitting across processors shrinks the per-processor share.
+	if m.cacheMult(big, 32) >= m.cacheMult(big, 1) {
+		t.Fatal("cache penalty should shrink with p")
+	}
+}
+
+func TestContentionOnlyOnCentralized(t *testing.T) {
+	if DASH().contentionMult(trace.VecOp, 16) != 1 {
+		t.Fatal("clustered machine should have no bus contention term")
+	}
+	c := Challenge()
+	if c.contentionMult(trace.VecOp, 16) <= 1 {
+		t.Fatal("centralized machine should charge bus contention")
+	}
+	if c.contentionMult(trace.VecOp, 1) != 1 {
+		t.Fatal("single processor cannot contend")
+	}
+}
+
+// Property: wall time is always positive and finite.
+func TestWallPositiveProperty(t *testing.T) {
+	machines := []*Machine{DASH(), Challenge()}
+	f := func(flops uint32, ws uint32, p uint8, cls uint8) bool {
+		op := Op{
+			Class:   trace.Class(int(cls) % int(trace.NumClasses)),
+			Flops:   float64(flops%1e9) + 1,
+			Workset: float64(ws),
+		}
+		for _, m := range machines {
+			w := m.Wall(op, int(p%64))
+			if !(w > 0) || w > 1e12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Challenge is calibrated as the faster machine throughout.
+func TestChallengeFasterThanDASH(t *testing.T) {
+	d, c := DASH(), Challenge()
+	for cls := trace.Class(0); cls < trace.NumClasses; cls++ {
+		if c.ClassRate[cls] <= d.ClassRate[cls] {
+			t.Fatalf("class %v: Challenge rate %g not above DASH %g", cls, c.ClassRate[cls], d.ClassRate[cls])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Symmetric eigendecomposition by the cyclic Jacobi method. The library
+// needs it in three places: the per-atom covariance ellipsoids (3×3
+// blocks), optimal structural superposition (the 4×4 quaternion matrix of
+// Horn's method), and the distance-geometry baseline's metric-matrix
+// embedding, which takes the top three eigenvectors of an n×n Gram matrix.
+
+// maxJacobiSweeps bounds the cyclic sweeps; convergence is quadratic and
+// even 1000×1000 matrices settle in well under 20 sweeps.
+const maxJacobiSweeps = 60
+
+// SymEigen computes the eigendecomposition of the symmetric matrix a
+// (only its lower triangle is read): a = V·diag(w)·Vᵀ. Eigenvalues are
+// returned in descending order with matching eigenvector columns in V.
+func SymEigen(a *Mat) (w []float64, v *Mat, err error) {
+	if a.Rows != a.Cols {
+		panic("mat: SymEigen of non-square matrix")
+	}
+	n := a.Rows
+	// Work on a symmetric copy.
+	work := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			work.Set(i, j, a.At(i, j))
+			work.Set(j, i, a.At(i, j))
+		}
+	}
+	v = Identity(n)
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		off := offDiagNorm(work)
+		if off <= 1e-14*(1+work.MaxAbs()) {
+			return extractEigen(work, v), v, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(work, v, p, q)
+			}
+		}
+	}
+	if off := offDiagNorm(work); off > 1e-8*(1+work.MaxAbs()) {
+		return nil, nil, fmt.Errorf("mat: Jacobi did not converge (off-diagonal %g)", off)
+	}
+	return extractEigen(work, v), v, nil
+}
+
+func offDiagNorm(a *Mat) float64 {
+	s := 0.0
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < i; j++ {
+			s += math.Abs(a.At(i, j))
+		}
+	}
+	return s
+}
+
+// jacobiRotate zeroes element (p, q) with a Givens rotation applied to the
+// working matrix and accumulated into v.
+func jacobiRotate(a, v *Mat, p, q int) {
+	apq := a.At(p, q)
+	if apq == 0 {
+		return
+	}
+	app, aqq := a.At(p, p), a.At(q, q)
+	theta := (aqq - app) / (2 * apq)
+	t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+	if theta < 0 {
+		t = -t
+	}
+	c := 1 / math.Sqrt(t*t+1)
+	s := t * c
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		akp, akq := a.At(k, p), a.At(k, q)
+		a.Set(k, p, c*akp-s*akq)
+		a.Set(k, q, s*akp+c*akq)
+	}
+	for k := 0; k < n; k++ {
+		apk, aqk := a.At(p, k), a.At(q, k)
+		a.Set(p, k, c*apk-s*aqk)
+		a.Set(q, k, s*apk+c*aqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// extractEigen reads the diagonal and sorts eigenpairs descending.
+func extractEigen(work, v *Mat) []float64 {
+	n := work.Rows
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = work.At(i, i)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return w[idx[a]] > w[idx[b]] })
+	sorted := make([]float64, n)
+	perm := New(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = w[oldCol]
+		for r := 0; r < n; r++ {
+			perm.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	copy(w, sorted)
+	v.CopyFrom(perm)
+	return w
+}

@@ -1,0 +1,137 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phmse/internal/par"
+)
+
+func TestMulSubNT(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	a := randMat(rng, 9, 5)
+	b := randMat(rng, 7, 5)
+	base := randMat(rng, 9, 7)
+	got := base.Clone()
+	MulSubNT(got, a, b)
+	want := base.Clone()
+	prod := New(9, 7)
+	MulNT(prod, a, b)
+	want.Sub(prod)
+	if !got.Equal(want, 1e-12) {
+		t.Fatal("MulSubNT mismatch")
+	}
+}
+
+func TestMulAddNT(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randMat(rng, 6, 8)
+	b := randMat(rng, 11, 8)
+	base := randMat(rng, 6, 11)
+	got := base.Clone()
+	MulAddNT(got, a, b)
+	MulSubNT(got, a, b)
+	if !got.Equal(base, 1e-11) {
+		t.Fatal("MulAddNT then MulSubNT did not round-trip")
+	}
+}
+
+func TestMulNTDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MulSubNT(New(2, 2), New(2, 3), New(2, 4))
+}
+
+// Property: the parallel NT kernels agree with the serial ones for any
+// team size and shape.
+func TestNTParallelMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, k := 1+rng.Intn(20), 1+rng.Intn(20), 1+rng.Intn(10)
+		team := par.NewTeam(1 + rng.Intn(6))
+		a := randMat(rng, n, k)
+		b := randMat(rng, m, k)
+		base := randMat(rng, n, m)
+
+		s1 := base.Clone()
+		MulSubNT(s1, a, b)
+		p1 := base.Clone()
+		MulSubNTPar(team, p1, a, b)
+		if !s1.Equal(p1, 1e-12) {
+			return false
+		}
+		s2 := base.Clone()
+		MulAddNT(s2, a, b)
+		p2 := base.Clone()
+		MulAddNTPar(team, p2, a, b)
+		return s2.Equal(p2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymmetrizeParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := randMat(rng, 17, 17)
+	serial := m.Clone()
+	serial.Symmetrize()
+	parallel := m.Clone()
+	SymmetrizePar(par.NewTeam(4), parallel)
+	if !serial.Equal(parallel, 0) {
+		t.Fatal("SymmetrizePar mismatch")
+	}
+}
+
+func TestMulVecParMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := randMat(rng, 23, 9)
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	serial := make([]float64, 23)
+	MulVec(serial, a, x)
+	parallel := make([]float64, 23)
+	MulVecPar(par.NewTeam(5), parallel, a, x)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatal("MulVecPar mismatch")
+		}
+	}
+}
+
+func TestCholeskyParNotPositiveDefinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	big := randSPD(rng, 80)
+	big.Set(70, 70, -5)
+	if err := CholeskyPar(par.NewTeam(4), big); err == nil {
+		t.Fatal("parallel factorization accepted an indefinite matrix")
+	}
+}
+
+func TestViewWritesThroughGemm(t *testing.T) {
+	// Kernels must respect strides: multiply into a view of a larger
+	// allocation and verify the frame is untouched.
+	rng := rand.New(rand.NewSource(35))
+	host := New(12, 12)
+	for i := range host.Data {
+		host.Data[i] = -7
+	}
+	dst := host.View(2, 3, 4, 5)
+	a := randMat(rng, 4, 6)
+	b := randMat(rng, 6, 5)
+	Mul(dst, a, b)
+	want := mulNaive(a, b)
+	if !dst.Clone().Equal(want, 1e-12) {
+		t.Fatal("view multiply wrong")
+	}
+	// Border stays -7.
+	if host.At(0, 0) != -7 || host.At(11, 11) != -7 || host.At(2, 2) != -7 {
+		t.Fatal("kernel wrote outside the view")
+	}
+}

@@ -1,0 +1,102 @@
+package mat
+
+import "phmse/internal/par"
+
+// Team-parallel variants of the dense kernels. All of them partition work by
+// contiguous row blocks (static scheduling), matching the paper's intra-node
+// parallelization of the update procedure. Each takes the par.Team assigned
+// to the hierarchy node being computed; a team of one runs the serial path.
+
+// MulPar computes dst ← A·B with rows of dst partitioned across the team.
+func MulPar(t *par.Team, dst, a, b *Mat) {
+	checkMul(dst, a, b)
+	dst.Zero()
+	t.For(a.Rows, func(lo, hi int) { mulAddRange(dst, a, b, lo, hi) })
+}
+
+// MulAddPar computes dst ← dst + A·B in parallel over row blocks.
+func MulAddPar(t *par.Team, dst, a, b *Mat) {
+	checkMul(dst, a, b)
+	t.For(a.Rows, func(lo, hi int) { mulAddRange(dst, a, b, lo, hi) })
+}
+
+// MulSubPar computes dst ← dst − A·B in parallel over row blocks.
+func MulSubPar(t *par.Team, dst, a, b *Mat) {
+	checkMul(dst, a, b)
+	t.For(a.Rows, func(lo, hi int) { mulSubRange(dst, a, b, lo, hi) })
+}
+
+// MulSubNTPar computes dst ← dst − A·Bᵀ in parallel over row blocks.
+func MulSubNTPar(t *par.Team, dst, a, b *Mat) {
+	t.For(a.Rows, func(lo, hi int) { mulSubNTRange(dst, a, b, lo, hi) })
+}
+
+// MulAddNTPar computes dst ← dst + A·Bᵀ in parallel over row blocks.
+func MulAddNTPar(t *par.Team, dst, a, b *Mat) {
+	t.For(a.Rows, func(lo, hi int) { mulAddNTRange(dst, a, b, lo, hi) })
+}
+
+// SolveCholRowsPar solves B ← B·(L·Lᵀ)⁻¹ with the independent right-hand
+// side rows of B partitioned across the team ("sys" class).
+func SolveCholRowsPar(t *par.Team, l, b *Mat) {
+	t.For(b.Rows, func(lo, hi int) { SolveCholRowsRange(l, b, lo, hi) })
+}
+
+// CholeskyPar is a blocked right-looking Cholesky whose trailing-matrix
+// updates are partitioned across the team. The panel factorization and panel
+// solve are sequential, which is why — exactly as the paper observes — the
+// factorization of the small per-batch innovation matrices scales poorly.
+func CholeskyPar(t *par.Team, a *Mat) error {
+	if a.Rows != a.Cols {
+		panic("mat: CholeskyPar of non-square matrix")
+	}
+	n := a.Rows
+	if t.Size() == 1 || n <= cholBlock {
+		return Cholesky(a)
+	}
+	for k := 0; k < n; k += cholBlock {
+		w := min(cholBlock, n-k)
+		diag := a.View(k, k, w, w)
+		if err := cholUnblocked(diag); err != nil {
+			return err
+		}
+		if k+w < n {
+			panel := a.View(k+w, k, n-k-w, w)
+			t.For(panel.Rows, func(lo, hi int) {
+				solveRightLowerT(panel.View(lo, 0, hi-lo, w), diag)
+			})
+			trail := a.View(k+w, k+w, n-k-w, n-k-w)
+			t.For(trail.Rows, func(lo, hi int) { syrkSubLower(trail, panel, lo, hi) })
+		}
+	}
+	zeroUpper(a)
+	return nil
+}
+
+// MulVecPar computes dst ← A·x with rows partitioned across the team.
+func MulVecPar(t *par.Team, dst []float64, a *Mat, x []float64) {
+	if len(dst) != a.Rows || len(x) != a.Cols {
+		panic("mat: MulVecPar dimension mismatch")
+	}
+	t.For(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = Dot(a.Row(i), x)
+		}
+	})
+}
+
+// SymmetrizePar forces symmetry of a square matrix in parallel over rows.
+func SymmetrizePar(t *par.Team, m *Mat) {
+	if m.Rows != m.Cols {
+		panic("mat: SymmetrizePar on non-square matrix")
+	}
+	t.For(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < m.Cols; j++ {
+				v := 0.5 * (m.At(i, j) + m.At(j, i))
+				m.Set(i, j, v)
+				m.Set(j, i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package mat
+
+// Triangular system solves ("sys" class). The filter gain K = C Hᵀ S⁻¹ is
+// obtained by two triangular solves against the Cholesky factor of S, with
+// the n rows of C Hᵀ as right-hand sides. These multi-RHS solves are the
+// second-largest component of the run time in the paper's evaluation and
+// parallelize across right-hand sides.
+
+// ForwardSolve solves L·x = b in place on b, for lower-triangular L.
+func ForwardSolve(l *Mat, b []float64) {
+	n := l.Rows
+	if len(b) != n {
+		panic("mat: ForwardSolve dimension mismatch")
+	}
+	for i := 0; i < n; i++ {
+		lr := l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= lr[k] * b[k]
+		}
+		b[i] = s / lr[i]
+	}
+}
+
+// BackwardSolveT solves Lᵀ·x = b in place on b, for lower-triangular L.
+func BackwardSolveT(l *Mat, b []float64) {
+	n := l.Rows
+	if len(b) != n {
+		panic("mat: BackwardSolveT dimension mismatch")
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * b[k]
+		}
+		b[i] = s / l.At(i, i)
+	}
+}
+
+// SolveCholRowsRange solves (L·Lᵀ)·xᵢ = bᵢ for each row i in [r0, r1) of b,
+// treating every row of b as an independent right-hand side (so it computes
+// B ← B·(L·Lᵀ)⁻¹ for the row-major layout used by the gain computation
+// K = (C Hᵀ)·S⁻¹). The row range makes the multi-RHS solve trivially
+// parallel across rows.
+func SolveCholRowsRange(l, b *Mat, r0, r1 int) {
+	if b.Cols != l.Rows {
+		panic("mat: SolveCholRows dimension mismatch")
+	}
+	for i := r0; i < r1; i++ {
+		row := b.Row(i)
+		ForwardSolve(l, row)
+		BackwardSolveT(l, row)
+	}
+}
+
+// SolveCholRows solves every row of b against the factor L: B ← B·(L·Lᵀ)⁻¹.
+func SolveCholRows(l, b *Mat) { SolveCholRowsRange(l, b, 0, b.Rows) }

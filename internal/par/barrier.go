@@ -1,0 +1,64 @@
+package par
+
+import "sync"
+
+// Barrier is a reusable synchronization barrier for a fixed number of
+// participants. It supports the periodic global synchronization used by the
+// dynamic processor re-grouping extension (paper §5): all processors meet at
+// the barrier, work is re-estimated, and teams are re-formed.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier returns a barrier for the given number of participants.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("par: barrier parties < 1")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all participants have called Wait, then releases them
+// all and resets for the next phase. It returns true for exactly one caller
+// per phase (the last arriver), which may perform phase-boundary work before
+// other participants continue — callers needing that pattern should use
+// WaitLeader instead.
+func (b *Barrier) Wait() bool {
+	return b.wait(nil)
+}
+
+// WaitLeader behaves like Wait, but the last participant to arrive runs
+// leader (if non-nil) before any participant is released.
+func (b *Barrier) WaitLeader(leader func()) bool {
+	return b.wait(leader)
+}
+
+func (b *Barrier) wait(leader func()) bool {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		if leader != nil {
+			leader()
+		}
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return true
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	return false
+}
+
+// Parties returns the number of participants the barrier synchronizes.
+func (b *Barrier) Parties() int { return b.parties }

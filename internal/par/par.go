@@ -1,0 +1,145 @@
+// Package par provides the shared-memory parallel runtime used by the
+// estimator: processor teams with fork-join execution, static loop
+// partitioning, reusable barriers, and team splitting for assigning
+// processor groups to subtrees of the structure hierarchy (the new axis of
+// parallelism exposed by the hierarchical decomposition).
+//
+// A Team models a fixed group of processors, mirroring the paper's static
+// processor-assignment scheme: every node of the structure hierarchy is
+// computed by the team assigned to it, and a team may be split into disjoint
+// sub-teams that proceed independently on disjoint subtrees.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Team is a group of logical processors that execute fork-join parallel
+// regions. The zero value is not usable; construct with NewTeam. A Team with
+// size 1 executes everything inline with no synchronization, so sequential
+// runs pay no parallel overhead.
+type Team struct {
+	size int
+}
+
+// NewTeam returns a team of p logical processors. p must be at least 1.
+func NewTeam(p int) *Team {
+	if p < 1 {
+		panic(fmt.Sprintf("par: team size %d < 1", p))
+	}
+	return &Team{size: p}
+}
+
+// Size returns the number of logical processors in the team.
+func (t *Team) Size() int { return t.size }
+
+// Run executes body(id) for id = 0..Size()-1, one goroutine per member, and
+// waits for all of them to finish. For a team of one the body runs inline.
+func (t *Team) Run(body func(id int)) {
+	if t.size == 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(t.size - 1)
+	for id := 1; id < t.size; id++ {
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(id)
+	}
+	body(0)
+	wg.Wait()
+}
+
+// For partitions the index range [0, n) statically into Size() nearly equal
+// contiguous chunks and executes body(lo, hi) for each chunk in parallel.
+// Static contiguous partitioning preserves the data locality the paper's
+// kernels rely on (each processor touches a contiguous block of rows).
+func (t *Team) For(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := t.size
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p - 1)
+	for id := 1; id < p; id++ {
+		lo, hi := Chunk(n, p, id)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	lo, hi := Chunk(n, p, 0)
+	body(lo, hi)
+	wg.Wait()
+}
+
+// Chunk returns the half-open range [lo, hi) of the id-th of p nearly equal
+// contiguous chunks of [0, n). The first n%p chunks are one element longer.
+func Chunk(n, p, id int) (lo, hi int) {
+	q, r := n/p, n%p
+	lo = id*q + min(id, r)
+	hi = lo + q
+	if id < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// Split divides the team into two disjoint sub-teams of sizes k and
+// Size()−k. Both must end up non-empty.
+func (t *Team) Split(k int) (*Team, *Team) {
+	if k <= 0 || k >= t.size {
+		panic(fmt.Sprintf("par: split %d of team of %d", k, t.size))
+	}
+	return &Team{size: k}, &Team{size: t.size - k}
+}
+
+// SplitN divides the team into len(sizes) disjoint sub-teams with the given
+// sizes, which must be positive and sum to Size().
+func (t *Team) SplitN(sizes []int) []*Team {
+	total := 0
+	teams := make([]*Team, len(sizes))
+	for i, s := range sizes {
+		if s < 1 {
+			panic(fmt.Sprintf("par: sub-team size %d < 1", s))
+		}
+		total += s
+		teams[i] = &Team{size: s}
+	}
+	if total != t.size {
+		panic(fmt.Sprintf("par: sub-team sizes sum to %d, team has %d", total, t.size))
+	}
+	return teams
+}
+
+// Parallel runs the given thunks concurrently and waits for all of them.
+// It is the fork-join primitive used to launch sibling subtrees.
+func Parallel(thunks ...func()) {
+	if len(thunks) == 0 {
+		return
+	}
+	if len(thunks) == 1 {
+		thunks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(thunks) - 1)
+	for _, f := range thunks[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	thunks[0]()
+	wg.Wait()
+}

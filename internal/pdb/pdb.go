@@ -1,0 +1,92 @@
+// Package pdb writes solved structures in Protein Data Bank format — the
+// lingua franca downstream molecular tooling expects — and reads a minimal
+// subset back. The B-factor column carries the per-atom positional σ (Å),
+// the natural PDB home for the estimator's uncertainty output.
+package pdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"phmse/internal/geom"
+	"phmse/internal/molecule"
+)
+
+// Write emits one MODEL of ATOM records (pseudo-atoms are written as
+// calcium-like single-letter carbons for viewer compatibility). bfactor may
+// be nil; positions must match atoms.
+func Write(w io.Writer, name string, atoms []molecule.Atom, pos []geom.Vec3, bfactor []float64) error {
+	if len(atoms) != len(pos) {
+		return fmt.Errorf("pdb: %d atoms but %d positions", len(atoms), len(pos))
+	}
+	if bfactor != nil && len(bfactor) != len(atoms) {
+		return fmt.Errorf("pdb: %d atoms but %d b-factors", len(atoms), len(bfactor))
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "HEADER    MOLECULAR STRUCTURE ESTIMATE          %s\n", strings.ToUpper(clip(name, 30)))
+	fmt.Fprintf(bw, "REMARK   3 B-FACTOR COLUMN CARRIES POSITIONAL SIGMA (ANGSTROM)\n")
+	for i, a := range atoms {
+		b := 0.0
+		if bfactor != nil {
+			b = bfactor[i]
+		}
+		atomName := clip(strings.ToUpper(nonEmpty(a.Name, "C")), 4)
+		resSeq := a.Residue%10000 + 1
+		if resSeq <= 0 {
+			resSeq += 10000
+		}
+		// Fixed-column PDB ATOM record.
+		fmt.Fprintf(bw, "ATOM  %5d %-4s %-3s A%4d    %8.3f%8.3f%8.3f%6.2f%6.2f           C\n",
+			(i+1)%100000, atomName, "UNK", resSeq,
+			pos[i][0], pos[i][1], pos[i][2], 1.0, b)
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// Read parses ATOM/HETATM records, returning atom names and coordinates.
+// Columns follow the fixed PDB layout; short or malformed lines error.
+func Read(r io.Reader) (names []string, pos []geom.Vec3, err error) {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if !strings.HasPrefix(line, "ATOM") && !strings.HasPrefix(line, "HETATM") {
+			continue
+		}
+		if len(line) < 54 {
+			return nil, nil, fmt.Errorf("pdb: line %d too short", lineNo)
+		}
+		x, err1 := parseCoord(line[30:38])
+		y, err2 := parseCoord(line[38:46])
+		z, err3 := parseCoord(line[46:54])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, nil, fmt.Errorf("pdb: line %d: bad coordinates", lineNo)
+		}
+		names = append(names, strings.TrimSpace(line[12:16]))
+		pos = append(pos, geom.Vec3{x, y, z})
+	}
+	return names, pos, sc.Err()
+}
+
+func parseCoord(s string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+func clip(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}
+
+func nonEmpty(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

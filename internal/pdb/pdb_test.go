@@ -1,0 +1,103 @@
+package pdb
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"phmse/internal/geom"
+	"phmse/internal/molecule"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	atoms := []molecule.Atom{
+		{Name: "B0", Residue: 0},
+		{Name: "S1", Residue: 1},
+		{Name: "", Residue: 2},
+	}
+	pos := []geom.Vec3{{1.25, -2.5, 3.125}, {10, 20, 30}, {-4.5, 0, 7.875}}
+	sigma := []float64{0.5, 1.25, 2}
+	var buf bytes.Buffer
+	if err := Write(&buf, "test", atoms, pos, sigma); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "HEADER") || !strings.Contains(out, "END") {
+		t.Fatal("missing header/footer")
+	}
+	names, got, err := Read(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d atoms", len(got))
+	}
+	for i := range pos {
+		if got[i].Sub(pos[i]).Norm() > 2e-3 {
+			t.Fatalf("atom %d: %v vs %v", i, got[i], pos[i])
+		}
+	}
+	if names[0] != "B0" || names[2] != "C" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteBFactors(t *testing.T) {
+	atoms := []molecule.Atom{{Name: "X", Residue: 0}}
+	pos := []geom.Vec3{{0, 0, 0}}
+	var buf bytes.Buffer
+	if err := Write(&buf, "b", atoms, pos, []float64{3.25}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), " 3.25") {
+		t.Fatalf("b-factor missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteLengthMismatch(t *testing.T) {
+	atoms := []molecule.Atom{{Name: "X"}}
+	if err := Write(&bytes.Buffer{}, "x", atoms, nil, nil); err == nil {
+		t.Fatal("no error for position mismatch")
+	}
+	if err := Write(&bytes.Buffer{}, "x", atoms, []geom.Vec3{{0, 0, 0}}, []float64{1, 2}); err == nil {
+		t.Fatal("no error for b-factor mismatch")
+	}
+}
+
+func TestWriteNegativeResidue(t *testing.T) {
+	// Protein pseudo-atoms carry negative residues; the writer must still
+	// emit a positive residue sequence number.
+	atoms := []molecule.Atom{{Name: "S2", Residue: -3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, "p", atoms, []geom.Vec3{{1, 2, 3}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "A  -") {
+		t.Fatal("negative residue sequence leaked")
+	}
+}
+
+func TestReadSkipsNonAtomLines(t *testing.T) {
+	in := "HEADER    X\nREMARK 1\nATOM      1 C    UNK A   1       1.000   2.000   3.000  1.00  0.00           C\nTER\nEND\n"
+	names, pos, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || math.Abs(pos[0][2]-3) > 1e-9 {
+		t.Fatalf("parsed %v %v", names, pos)
+	}
+}
+
+func TestReadRejectsShortAtomLine(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("ATOM  1 C\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+}
+
+func TestReadRejectsBadCoordinates(t *testing.T) {
+	in := "ATOM      1 C    UNK A   1       x.xxx   2.000   3.000  1.00  0.00           C\n"
+	if _, _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("bad coordinates accepted")
+	}
+}

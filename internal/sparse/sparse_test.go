@@ -1,0 +1,214 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phmse/internal/mat"
+	"phmse/internal/par"
+)
+
+// randSparse builds a random m×n sparse matrix with up to k non-zeros per
+// row at distinct columns.
+func randSparse(rng *rand.Rand, m, n, k int) *Matrix {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		nnz := 1 + rng.Intn(k)
+		if nnz > n {
+			nnz = n
+		}
+		perm := rng.Perm(n)[:nnz]
+		vals := make([]float64, nnz)
+		for j := range vals {
+			vals[j] = rng.NormFloat64()
+		}
+		b.AddRow(perm, vals)
+	}
+	return b.Build()
+}
+
+func randDense(rng *rand.Rand, r, c int) *mat.Mat {
+	m := mat.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddRow([]int{0, 3}, []float64{1, 2})
+	b.AddRow(nil, nil)
+	b.AddRow([]int{2}, []float64{5})
+	m := b.Build()
+	if m.Rows() != 3 || m.Cols() != 4 || m.NNZ() != 3 {
+		t.Fatalf("shape %d×%d nnz %d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	cols, vals := m.Row(0)
+	if len(cols) != 2 || cols[1] != 3 || vals[1] != 2 {
+		t.Fatalf("row 0: %v %v", cols, vals)
+	}
+	cols, _ = m.Row(1)
+	if len(cols) != 0 {
+		t.Fatal("row 1 not empty")
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddRow([]int{0}, []float64{1})
+	b.Reset()
+	b.AddRow([]int{1}, []float64{2})
+	m := b.Build()
+	if m.Rows() != 1 || m.NNZ() != 1 {
+		t.Fatalf("after reset: rows %d nnz %d", m.Rows(), m.NNZ())
+	}
+}
+
+func TestBuilderColumnRangePanics(t *testing.T) {
+	b := NewBuilder(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range column did not panic")
+		}
+	}()
+	b.AddRow([]int{2}, []float64{1})
+}
+
+func TestDense(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddRow([]int{1}, []float64{4})
+	b.AddRow([]int{0, 2}, []float64{1, 2})
+	d := b.Build().Dense()
+	want := mat.FromRows([][]float64{{0, 4, 0}, {1, 0, 2}})
+	if !d.Equal(want, 0) {
+		t.Fatalf("Dense = %v", d)
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := randSparse(rng, 7, 11, 4)
+	x := make([]float64, 11)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 7)
+	h.MulVec(got, x)
+	want := make([]float64, 7)
+	mat.MulVec(want, h.Dense(), x)
+	mat.SubVec(want, want, got)
+	if mat.Norm2(want) > 1e-12 {
+		t.Fatal("MulVec mismatch")
+	}
+}
+
+func TestMulVecTAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randSparse(rng, 7, 11, 4)
+	y := make([]float64, 7)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 11)
+	h.MulVecT(got, y)
+	want := make([]float64, 11)
+	mat.MulVec(want, h.Dense().T(), y)
+	mat.SubVec(want, want, got)
+	if mat.Norm2(want) > 1e-12 {
+		t.Fatal("MulVecT mismatch")
+	}
+}
+
+// Property: C·Hᵀ computed sparsely matches the dense computation.
+func TestDenseMulTProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(10), 1+rng.Intn(15)
+		h := randSparse(rng, m, n, 5)
+		c := randDense(rng, n, n)
+		got := mat.New(n, m)
+		h.DenseMulT(got, c)
+		want := mat.New(n, m)
+		mat.Mul(want, c, h.Dense().T())
+		return got.Equal(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: H·A computed sparsely matches the dense computation.
+func TestMulDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, p := 1+rng.Intn(10), 1+rng.Intn(15), 1+rng.Intn(8)
+		h := randSparse(rng, m, n, 5)
+		a := randDense(rng, n, p)
+		got := mat.New(m, p)
+		h.MulDense(got, a)
+		want := mat.New(m, p)
+		mat.Mul(want, h.Dense(), a)
+		return got.Equal(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel d-s products agree with the serial ones for any team.
+func TestParallelMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(12), 1+rng.Intn(20)
+		p := 1 + rng.Intn(6)
+		team := par.NewTeam(p)
+		h := randSparse(rng, m, n, 6)
+		c := randDense(rng, n, n)
+
+		serialCT := mat.New(n, m)
+		h.DenseMulT(serialCT, c)
+		parCT := mat.New(n, m)
+		h.DenseMulTPar(team, parCT, c)
+		if !serialCT.Equal(parCT, 1e-13) {
+			return false
+		}
+
+		serialS := mat.New(m, m)
+		h.MulDense(serialS, serialCT)
+		parS := mat.New(m, m)
+		h.MulDensePar(team, parS, parCT)
+		return serialS.Equal(parS, 1e-13)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateColumnsAccumulateInDense(t *testing.T) {
+	// Dense() accumulates duplicates; products treat them additively too.
+	b := NewBuilder(2)
+	b.AddRow([]int{0, 0}, []float64{1, 2})
+	m := b.Build()
+	if m.Dense().At(0, 0) != 3 {
+		t.Fatal("duplicate columns not accumulated")
+	}
+	x := []float64{10, 0}
+	y := make([]float64, 1)
+	m.MulVec(y, x)
+	if y[0] != 30 {
+		t.Fatalf("MulVec with duplicates = %g", y[0])
+	}
+}
+
+func BenchmarkDenseMulT(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	h := randSparse(rng, 16, 600, 6)
+	c := randDense(rng, 600, 600)
+	dst := mat.New(600, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.DenseMulT(dst, c)
+	}
+}

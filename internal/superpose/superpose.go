@@ -1,0 +1,105 @@
+// Package superpose computes optimal rigid-body superposition of two
+// conformations (Horn's quaternion method) and the superposed RMSD.
+// Distance-only constraint sets determine a structure only up to a rigid
+// motion (and sometimes a reflection), so comparing an estimate against a
+// reference requires removing that gauge freedom first.
+package superpose
+
+import (
+	"fmt"
+
+	"phmse/internal/geom"
+	"phmse/internal/mat"
+	"phmse/internal/molecule"
+)
+
+// Transform is the optimal rigid motion mapping the moving set onto the
+// fixed set: x ↦ R·(x − MovingCenter) + FixedCenter.
+type Transform struct {
+	R            geom.Mat3
+	MovingCenter geom.Vec3
+	FixedCenter  geom.Vec3
+}
+
+// Apply maps one point of the moving frame into the fixed frame.
+func (t Transform) Apply(p geom.Vec3) geom.Vec3 {
+	return t.R.MulVec(p.Sub(t.MovingCenter)).Add(t.FixedCenter)
+}
+
+// ApplyAll maps a whole conformation.
+func (t Transform) ApplyAll(pos []geom.Vec3) []geom.Vec3 {
+	out := make([]geom.Vec3, len(pos))
+	for i, p := range pos {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// Fit returns the rotation + translation minimizing Σ‖T(movingᵢ) − fixedᵢ‖²
+// over proper rotations (no reflection), using the eigendecomposition of
+// Horn's 4×4 quaternion matrix.
+func Fit(moving, fixed []geom.Vec3) (Transform, error) {
+	if len(moving) != len(fixed) {
+		return Transform{}, fmt.Errorf("superpose: %d vs %d points", len(moving), len(fixed))
+	}
+	if len(moving) == 0 {
+		return Transform{R: geom.Identity3()}, nil
+	}
+	cm := centroid(moving)
+	cf := centroid(fixed)
+
+	// Cross-covariance S = Σ (m−cm)(f−cf)ᵀ.
+	var s [3][3]float64
+	for i := range moving {
+		m := moving[i].Sub(cm)
+		f := fixed[i].Sub(cf)
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				s[r][c] += m[r] * f[c]
+			}
+		}
+	}
+
+	// Horn's symmetric 4×4 matrix; its top eigenvector is the optimal unit
+	// quaternion (w, x, y, z).
+	n := mat.FromRows([][]float64{
+		{s[0][0] + s[1][1] + s[2][2], s[1][2] - s[2][1], s[2][0] - s[0][2], s[0][1] - s[1][0]},
+		{s[1][2] - s[2][1], s[0][0] - s[1][1] - s[2][2], s[0][1] + s[1][0], s[2][0] + s[0][2]},
+		{s[2][0] - s[0][2], s[0][1] + s[1][0], -s[0][0] + s[1][1] - s[2][2], s[1][2] + s[2][1]},
+		{s[0][1] - s[1][0], s[2][0] + s[0][2], s[1][2] + s[2][1], -s[0][0] - s[1][1] + s[2][2]},
+	})
+	_, v, err := mat.SymEigen(n)
+	if err != nil {
+		return Transform{}, fmt.Errorf("superpose: %w", err)
+	}
+	q := [4]float64{v.At(0, 0), v.At(1, 0), v.At(2, 0), v.At(3, 0)}
+	return Transform{R: quatToRot(q), MovingCenter: cm, FixedCenter: cf}, nil
+}
+
+// RMSD returns the root-mean-square deviation of moving from fixed after
+// optimal superposition.
+func RMSD(moving, fixed []geom.Vec3) (float64, error) {
+	t, err := Fit(moving, fixed)
+	if err != nil {
+		return 0, err
+	}
+	return molecule.RMSD(t.ApplyAll(moving), fixed), nil
+}
+
+func centroid(pos []geom.Vec3) geom.Vec3 {
+	var c geom.Vec3
+	for _, p := range pos {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pos)))
+}
+
+// quatToRot converts a unit quaternion (w, x, y, z) to a rotation matrix.
+func quatToRot(q [4]float64) geom.Mat3 {
+	w, x, y, z := q[0], q[1], q[2], q[3]
+	return geom.Mat3{
+		1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y),
+		2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x),
+		2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y),
+	}
+}

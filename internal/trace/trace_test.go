@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClassString(t *testing.T) {
+	want := []string{"d-s", "chol", "sys", "m-m", "m-v", "vec"}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() != want[c] {
+			t.Fatalf("class %d = %q, want %q", c, c.String(), want[c])
+		}
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Fatal("out-of-range class string")
+	}
+}
+
+func TestTimesTotalAddScale(t *testing.T) {
+	a := Times{1, 2, 3, 4, 5, 6}
+	if a.Total() != 21 {
+		t.Fatalf("Total = %g", a.Total())
+	}
+	b := a.Add(Times{1, 1, 1, 1, 1, 1})
+	if b.Total() != 27 {
+		t.Fatalf("Add total = %g", b.Total())
+	}
+	if a.Total() != 21 {
+		t.Fatal("Add mutated receiver")
+	}
+	c := a.Scale(2)
+	if c.Total() != 42 {
+		t.Fatalf("Scale total = %g", c.Total())
+	}
+}
+
+func TestTimesFormat(t *testing.T) {
+	s := Times{1, 2, 3, 4, 5, 6}.Format()
+	for _, name := range []string{"d-s=1.00", "chol=2.00", "vec=6.00"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("Format %q missing %q", s, name)
+		}
+	}
+}
+
+func TestCollectorAccumulates(t *testing.T) {
+	var c Collector
+	c.Add(MatMat, 1.5, 100)
+	c.Add(MatMat, 0.5, 50)
+	c.Add(Chol, 2, 10)
+	times := c.Times()
+	if times[MatMat] != 2 || times[Chol] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+	flops := c.Flops()
+	if flops[MatMat] != 150 || flops[Chol] != 10 {
+		t.Fatalf("flops = %v", flops)
+	}
+	c.Reset()
+	if c.Times().Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCollectorTimedRunsFunc(t *testing.T) {
+	var c Collector
+	ran := false
+	c.Timed(Solve, 5, func() { ran = true })
+	if !ran {
+		t.Fatal("Timed did not run f")
+	}
+	if c.Flops()[Solve] != 5 {
+		t.Fatal("Timed did not record flops")
+	}
+	if c.Times()[Solve] < 0 {
+		t.Fatal("negative duration")
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.Add(VecOp, 1, 1)
+	ran := false
+	c.Timed(VecOp, 1, func() { ran = true })
+	if !ran {
+		t.Fatal("nil collector did not run f")
+	}
+	if c.Times().Total() != 0 || c.Flops()[VecOp] != 0 {
+		t.Fatal("nil collector returned non-zero state")
+	}
+	c.Reset()
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	const workers = 8
+	const each = 1000
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Add(VecOp, 0.001, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Flops()[VecOp]; got != workers*each {
+		t.Fatalf("flops = %g, want %d", got, workers*each)
+	}
+}
