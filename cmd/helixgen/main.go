@@ -34,6 +34,23 @@ func main() {
 		out      = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
+	// Reject bad flag values with a usage message instead of generating a
+	// degenerate problem from zero-value defaults.
+	switch {
+	case flag.NArg() > 0:
+		usageError(fmt.Sprintf("unexpected arguments: %v", flag.Args()))
+	case *bp < 1:
+		usageError(fmt.Sprintf("-bp must be >= 1, got %d", *bp))
+	case *protein < 0:
+		usageError(fmt.Sprintf("-protein must be >= 0, got %d", *protein))
+	case *ribo && (*helices < 1 || *coils < 0 || *proteins < 0):
+		usageError(fmt.Sprintf("-helices must be >= 1 and -coils/-proteins >= 0, got %d/%d/%d",
+			*helices, *coils, *proteins))
+	case *anchors < 0:
+		usageError(fmt.Sprintf("-anchors must be >= 0, got %d", *anchors))
+	case *anchors > 0 && *sigma <= 0:
+		usageError(fmt.Sprintf("-anchor-sigma must be positive, got %g", *sigma))
+	}
 
 	var p *molecule.Problem
 	if *protein > 0 {
@@ -68,4 +85,10 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "helixgen:", err)
 	os.Exit(1)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "helixgen:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

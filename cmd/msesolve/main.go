@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -41,12 +43,30 @@ func main() {
 		auto    = flag.Bool("auto", false, "derive the hierarchy automatically by graph partitioning")
 		verbose = flag.Bool("v", false, "print the per-operation-class time distribution and tree")
 		pdbOut  = flag.String("pdb", "", "write the solved structure (PDB format, σ in the B-factor column)")
+		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 	)
 	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "msesolve: -in is required")
-		flag.Usage()
-		os.Exit(2)
+	// Reject bad flag values with a usage message instead of proceeding
+	// with nonsensical defaults.
+	switch {
+	case *in == "":
+		usageError("-in is required")
+	case flag.NArg() > 0:
+		usageError(fmt.Sprintf("unexpected arguments: %v", flag.Args()))
+	case *mode != "flat" && *mode != "hier":
+		usageError(fmt.Sprintf("-mode must be \"flat\" or \"hier\", got %q", *mode))
+	case *procs < 1:
+		usageError(fmt.Sprintf("-procs must be >= 1, got %d", *procs))
+	case *batch < 1:
+		usageError(fmt.Sprintf("-batch must be >= 1, got %d", *batch))
+	case *cycles < 1:
+		usageError(fmt.Sprintf("-cycles must be >= 1, got %d", *cycles))
+	case *tol <= 0 || math.IsNaN(*tol):
+		usageError(fmt.Sprintf("-tol must be positive, got %g", *tol))
+	case *perturb < 0 || math.IsNaN(*perturb):
+		usageError(fmt.Sprintf("-perturb must be >= 0, got %g", *perturb))
+	case *timeout < 0:
+		usageError(fmt.Sprintf("-timeout must be >= 0, got %v", *timeout))
 	}
 
 	f, err := os.Open(*in)
@@ -106,9 +126,18 @@ func main() {
 		init = molecule.Perturbed(p, *perturb, *seed)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	sol, err := est.Solve(init)
+	sol, err := est.SolveContext(ctx, init)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			fatal(fmt.Errorf("solve did not finish within -timeout %v", *timeout))
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -160,4 +189,10 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "msesolve:", err)
 	os.Exit(1)
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "msesolve:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,90 @@
+// Command phmsed is the structure-estimation daemon: a long-lived HTTP
+// server that accepts estimation problems in the JSON interchange format,
+// runs them on a worker pool sized to the machine, caches decomposition
+// and scheduling artifacts across repeated solves of the same topology,
+// and supports per-job cancellation, timeouts, and graceful shutdown.
+//
+// Usage:
+//
+//	phmsed -addr :8080
+//	phmsed -addr :8080 -workers 4 -procs 2 -queue 64
+//
+// Submit and poll:
+//
+//	curl -s localhost:8080/v1/solve -d '{"problem": '"$(helixgen -bp 8)"'}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM triggers a graceful drain: new submissions are rejected
+// with 503 while accepted jobs run to completion (bounded by
+// -drain-timeout, after which they are cancelled).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"phmse/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent solves (default GOMAXPROCS/2)")
+		procs        = flag.Int("procs", 0, "processor team size per solve (default GOMAXPROCS/workers)")
+		queue        = flag.Int("queue", 32, "bounded job-queue depth (full queue rejects with 429)")
+		cacheSize    = flag.Int("plan-cache", 64, "plan cache entries (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "phmsed: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers < 0 || *procs < 0 || *queue < 1 || *drainTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "phmsed: -workers and -procs must be >= 0, -queue >= 1, -drain-timeout > 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Workers:     *workers,
+		ProcsPerJob: *procs,
+		QueueDepth:  *queue,
+		CacheSize:   *cacheSize,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("phmsed: serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("phmsed: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("phmsed: draining (up to %v)...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("phmsed: forced drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("phmsed: http shutdown: %v", err)
+	}
+	log.Printf("phmsed: stopped")
+}

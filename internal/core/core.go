@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"phmse/internal/analysis"
@@ -75,6 +76,12 @@ type Config struct {
 	// whose normalized innovation exceeds the gate are deweighted for the
 	// current batch (see filter.Updater.GateSigma).
 	GateSigma float64
+	// OnCycle, when non-nil, is called after every completed
+	// constraint-application cycle with the 1-based cycle number and the RMS
+	// coordinate change over that cycle. The serving layer uses it for
+	// cycle-level progress reporting; it must be fast and must not call back
+	// into the estimator.
+	OnCycle func(cycle int, rmsChange float64)
 }
 
 func (c Config) withDefaults() Config {
@@ -114,31 +121,96 @@ type Estimator struct {
 // automatically), assigns constraints to nodes, prepares batches, and
 // computes the static processor assignment.
 func New(p *molecule.Problem, cfg Config) (*Estimator, error) {
+	e, _, err := NewWithPlan(p, cfg, nil)
+	return e, err
+}
+
+// PlanArtifacts holds the planning work of estimator construction that
+// depends only on the problem's topology (atoms, constraint graph,
+// grouping) and the construction parameters — not on measurement values or
+// starting positions. Repeated solves of the same topology can reuse them
+// through NewWithPlan, skipping the decomposition and static-assignment
+// passes; the serving layer's plan cache stores exactly this.
+type PlanArtifacts struct {
+	// Tree is the hierarchical grouping used (the problem's own or the
+	// derived automatic decomposition).
+	Tree *molecule.Group
+	// Sketch is the tree-relative static processor assignment (nil when the
+	// solve is sequential).
+	Sketch *hier.PlanSketch
+	// Procs, BatchSize and LeafSize record the construction parameters the
+	// artifacts were computed for; NewWithPlan ignores artifacts built under
+	// different parameters.
+	Procs     int
+	BatchSize int
+	LeafSize  int
+}
+
+// compatible reports whether the artifacts were computed under the given
+// effective (defaulted) construction parameters.
+func (a *PlanArtifacts) compatible(cfg Config) bool {
+	return a != nil && a.Tree != nil &&
+		a.Procs == cfg.Procs && a.BatchSize == cfg.BatchSize && a.LeafSize == cfg.LeafSize
+}
+
+// NewWithPlan builds an estimator like New, but can reuse the
+// topology-dependent planning artifacts of a previous construction. When
+// art fits the configuration, the decomposition tree is taken from it and
+// the static processor assignment is rebound from its sketch instead of
+// being recomputed. It returns the artifacts of the estimator it built
+// (fresh or reused) so the caller can cache them; callers are responsible
+// for keying the cache by problem topology. In flat mode there is nothing
+// to plan and the returned artifacts are nil.
+func NewWithPlan(p *molecule.Problem, cfg Config, art *PlanArtifacts) (*Estimator, *PlanArtifacts, error) {
 	cfg = cfg.withDefaults()
 	e := &Estimator{problem: p, cfg: cfg, team: par.NewTeam(cfg.Procs)}
 	if cfg.Mode == Flat {
-		return e, nil
+		return e, nil, nil
+	}
+	if !art.compatible(cfg) {
+		art = nil
 	}
 	tree := p.Tree
-	if cfg.AutoDecompose || tree == nil {
+	if art != nil {
+		tree = art.Tree
+	} else if cfg.AutoDecompose || tree == nil {
 		tree = hier.GraphPartition(len(p.Atoms), p.Constraints, cfg.LeafSize)
 	}
 	root, err := hier.Build(tree, p.Constraints)
 	if err != nil {
-		return nil, fmt.Errorf("core: building hierarchy: %w", err)
+		return nil, nil, fmt.Errorf("core: building hierarchy: %w", err)
 	}
 	if err := root.Prepare(cfg.BatchSize); err != nil {
-		return nil, fmt.Errorf("core: preparing batches: %w", err)
+		return nil, nil, fmt.Errorf("core: preparing batches: %w", err)
 	}
 	e.root = root
 	if cfg.Procs > 1 {
-		work := sched.EstimateWork(root, workest.FlopModel{}, cfg.BatchSize)
-		e.plan = sched.Assign(root, cfg.Procs, work)
-		if err := e.plan.Validate(root, cfg.Procs); err != nil {
-			return nil, fmt.Errorf("core: processor assignment: %w", err)
+		if art != nil && art.Sketch != nil {
+			// Rebind the cached assignment; fall back to recomputing when the
+			// sketch does not fit (e.g. the topology key collided).
+			e.plan, err = hier.ApplySketch(root, art.Sketch)
+			if err != nil {
+				art = nil
+			}
+		}
+		if e.plan == nil {
+			work := sched.EstimateWork(root, workest.FlopModel{}, cfg.BatchSize)
+			e.plan = sched.Assign(root, cfg.Procs, work)
+			if err := e.plan.Validate(root, cfg.Procs); err != nil {
+				return nil, nil, fmt.Errorf("core: processor assignment: %w", err)
+			}
 		}
 	}
-	return e, nil
+	if art == nil {
+		art = &PlanArtifacts{
+			Tree:      tree,
+			Sketch:    e.plan.Sketch(root, cfg.Procs),
+			Procs:     cfg.Procs,
+			BatchSize: cfg.BatchSize,
+			LeafSize:  cfg.LeafSize,
+		}
+	}
+	return e, art, nil
 }
 
 // Root exposes the structure hierarchy (nil in flat mode), for inspection
@@ -209,13 +281,23 @@ func (s *Solution) UncertaintyReport(k int) string {
 
 // Solve estimates the structure starting from init (problem atom order).
 func (e *Estimator) Solve(init []geom.Vec3) (*Solution, error) {
+	return e.SolveContext(context.Background(), init)
+}
+
+// SolveContext estimates the structure starting from init (problem atom
+// order), honouring cancellation: the convergence driver checks ctx between
+// constraint-application cycles and returns ctx.Err() (matched by
+// errors.Is against context.Canceled or context.DeadlineExceeded) when the
+// context ends before convergence. This is the entry point the serving
+// layer uses for per-request deadlines and job cancellation.
+func (e *Estimator) SolveContext(ctx context.Context, init []geom.Vec3) (*Solution, error) {
 	if len(init) != len(e.problem.Atoms) {
 		return nil, fmt.Errorf("core: init has %d atoms, problem has %d", len(init), len(e.problem.Atoms))
 	}
 	if e.cfg.Mode == Flat {
-		return e.solveFlat(init)
+		return e.solveFlat(ctx, init)
 	}
-	return e.solveHier(init)
+	return e.solveHier(ctx, init)
 }
 
 // Replan computes a fresh static processor assignment for the estimator's
@@ -228,7 +310,7 @@ func Replan(e *Estimator, procs int) *hier.ExecPlan {
 	return sched.Assign(e.root, procs, work)
 }
 
-func (e *Estimator) solveFlat(init []geom.Vec3) (*Solution, error) {
+func (e *Estimator) solveFlat(ctx context.Context, init []geom.Vec3) (*Solution, error) {
 	s := filter.NewState(init, e.cfg.InitVar)
 	res, err := filter.Solve(s, e.problem.Constraints, filter.SolveOptions{
 		BatchSize: e.cfg.BatchSize,
@@ -240,6 +322,8 @@ func (e *Estimator) solveFlat(init []geom.Vec3) (*Solution, error) {
 		MaxStep:   e.cfg.MaxStep,
 		Joseph:    e.cfg.Joseph,
 		GateSigma: e.cfg.GateSigma,
+		Ctx:       ctx,
+		OnCycle:   e.cfg.OnCycle,
 	})
 	if err != nil {
 		return nil, err
@@ -270,7 +354,7 @@ func atomNames(p *molecule.Problem) []string {
 	return names
 }
 
-func (e *Estimator) solveHier(init []geom.Vec3) (*Solution, error) {
+func (e *Estimator) solveHier(ctx context.Context, init []geom.Vec3) (*Solution, error) {
 	state, res, err := hier.Solve(e.root, init, hier.Options{
 		BatchSize: e.cfg.BatchSize,
 		MaxCycles: e.cfg.MaxCycles,
@@ -282,6 +366,8 @@ func (e *Estimator) solveHier(init []geom.Vec3) (*Solution, error) {
 		MaxStep:   e.cfg.MaxStep,
 		Joseph:    e.cfg.Joseph,
 		GateSigma: e.cfg.GateSigma,
+		Ctx:       ctx,
+		OnCycle:   e.cfg.OnCycle,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,105 @@
+package encode
+
+// This file holds the wire-format data-transfer objects for the serving
+// layer: solve requests submitted to POST /v1/solve and solution documents
+// returned by GET /v1/jobs/{id}/result. They live here, next to the
+// problem format, so every tool that speaks the problem JSON can also
+// speak the job JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"phmse/internal/geom"
+	"phmse/internal/molecule"
+)
+
+// SolveParams is the wire form of the solver configuration accepted with a
+// submitted problem. Zero values select the solver defaults.
+type SolveParams struct {
+	// Mode is "hier" (default) or "flat".
+	Mode string `json:"mode,omitempty"`
+	// Procs requests a processor-team size for this job; the server caps it
+	// at its per-job allocation.
+	Procs int `json:"procs,omitempty"`
+	// BatchSize is the scalar constraint batch dimension.
+	BatchSize int `json:"batch,omitempty"`
+	// MaxCycles bounds the constraint-application cycles.
+	MaxCycles int `json:"max_cycles,omitempty"`
+	// Tol is the RMS coordinate change declaring convergence.
+	Tol float64 `json:"tol,omitempty"`
+	// Auto derives the hierarchy by constraint-graph partitioning even when
+	// the problem carries its own grouping.
+	Auto bool `json:"auto,omitempty"`
+	// Perturb starts the solve from the reference positions displaced by
+	// Gaussian noise of this σ (Å); the default is 0.5.
+	Perturb float64 `json:"perturb,omitempty"`
+	// Seed seeds the starting-estimate perturbation.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMillis, when positive, bounds the solve's wall-clock time; an
+	// expired job fails with a deadline error.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// SolveRequest is the JSON body of POST /v1/solve: a problem document in
+// the interchange format plus solver parameters.
+type SolveRequest struct {
+	Problem json.RawMessage `json:"problem"`
+	Params  SolveParams     `json:"params,omitempty"`
+}
+
+// ReadSolveRequest parses and validates a solve request, returning the
+// decoded problem and parameters.
+func ReadSolveRequest(r io.Reader) (*molecule.Problem, SolveParams, error) {
+	var req SolveRequest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&req); err != nil {
+		return nil, SolveParams{}, fmt.Errorf("encode: request: %w", err)
+	}
+	if len(req.Problem) == 0 {
+		return nil, SolveParams{}, fmt.Errorf("encode: request has no problem document")
+	}
+	p, err := ReadProblemBytes(req.Problem)
+	if err != nil {
+		return nil, SolveParams{}, err
+	}
+	if len(p.Atoms) == 0 {
+		return nil, SolveParams{}, fmt.Errorf("encode: problem has no atoms")
+	}
+	switch req.Params.Mode {
+	case "", "hier", "flat":
+	default:
+		return nil, SolveParams{}, fmt.Errorf("encode: unknown mode %q (want \"flat\" or \"hier\")", req.Params.Mode)
+	}
+	return p, req.Params, nil
+}
+
+// SolutionDoc is the wire form of a solved structure estimate.
+type SolutionDoc struct {
+	Name      string       `json:"name"`
+	Converged bool         `json:"converged"`
+	Cycles    int          `json:"cycles"`
+	RMSChange float64      `json:"rms_change"`
+	Residual  float64      `json:"residual"`
+	Positions [][3]float64 `json:"positions"`
+	// Variances holds each atom's summed coordinate variance (Å²).
+	Variances []float64 `json:"variances"`
+}
+
+// NewSolutionDoc assembles the wire form from solver outputs.
+func NewSolutionDoc(name string, pos []geom.Vec3, variances []float64, cycles int, converged bool, rmsChange, residual float64) SolutionDoc {
+	doc := SolutionDoc{
+		Name:      name,
+		Converged: converged,
+		Cycles:    cycles,
+		RMSChange: rmsChange,
+		Residual:  residual,
+		Positions: make([][3]float64, len(pos)),
+		Variances: append([]float64(nil), variances...),
+	}
+	for i, p := range pos {
+		doc.Positions[i] = p
+	}
+	return doc
+}

@@ -4,6 +4,7 @@
 package encode
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -87,6 +88,11 @@ func ReadProblem(r io.Reader) (*molecule.Problem, error) {
 	}
 	p.Tree = fromFileGroup(fp.Tree)
 	return p, nil
+}
+
+// ReadProblemBytes parses a problem from a JSON document in memory.
+func ReadProblemBytes(data []byte) (*molecule.Problem, error) {
+	return ReadProblem(bytes.NewReader(data))
 }
 
 func toFile(c constraint.Constraint) (fileConstraint, error) {

@@ -1,0 +1,79 @@
+package encode
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"phmse/internal/constraint"
+	"phmse/internal/molecule"
+)
+
+// TopologyHash returns a content hash of the problem's topology: the atom
+// count, the constraint graph (constraint types and the atom indices they
+// couple), and the hierarchical grouping. Measurement values — targets,
+// sigmas, reference positions, names — are deliberately excluded: two
+// problems with equal hashes decompose and schedule identically, so the
+// hash is the key under which the serving layer caches planning artifacts
+// across repeated solves.
+//
+// The hash is canonical: it does not depend on the order constraints appear
+// in (the constraint set is hashed as a sorted multiset) nor, since it is
+// computed from the parsed Problem, on JSON field order in a problem file.
+func TopologyHash(p *molecule.Problem) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "atoms:%d\n", len(p.Atoms))
+	recs := make([]string, len(p.Constraints))
+	for i, c := range p.Constraints {
+		recs[i] = topoRecord(c)
+	}
+	sort.Strings(recs)
+	for _, r := range recs {
+		io.WriteString(h, r)
+		io.WriteString(h, "\n")
+	}
+	io.WriteString(h, "tree:")
+	hashTree(h, p.Tree)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// topoRecord renders the topology-relevant part of one constraint: its
+// type tag and the atom indices it couples.
+func topoRecord(c constraint.Constraint) string {
+	switch v := c.(type) {
+	case constraint.Distance:
+		return fmt.Sprintf("distance %d %d", v.I, v.J)
+	case constraint.Angle:
+		return fmt.Sprintf("angle %d %d %d", v.I, v.J, v.K)
+	case constraint.Torsion:
+		return fmt.Sprintf("torsion %d %d %d %d", v.I, v.J, v.K, v.L)
+	case constraint.Position:
+		return fmt.Sprintf("position %d", v.I)
+	case constraint.DistanceBound:
+		return fmt.Sprintf("bound %d %d", v.I, v.J)
+	default:
+		return fmt.Sprintf("%T %v", c, c.Atoms())
+	}
+}
+
+// hashTree writes a canonical rendering of the grouping tree: a
+// parenthesized pre-order traversal of directly-owned atom IDs.
+func hashTree(w io.Writer, g *molecule.Group) {
+	if g == nil {
+		io.WriteString(w, "-")
+		return
+	}
+	io.WriteString(w, "(")
+	for i, a := range g.AtomIDs {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%d", a)
+	}
+	for _, c := range g.Children {
+		hashTree(w, c)
+	}
+	io.WriteString(w, ")")
+}

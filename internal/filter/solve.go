@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"context"
 	"math"
 
 	"phmse/internal/constraint"
@@ -39,6 +40,14 @@ type SolveOptions struct {
 	// GateSigma, when positive, enables innovation gating of outlier
 	// observations (see Updater.GateSigma).
 	GateSigma float64
+	// Ctx, when non-nil, is checked between cycles: a cancelled or expired
+	// context stops the iteration and Solve returns the context's error
+	// together with the progress made so far.
+	Ctx context.Context
+	// OnCycle, when non-nil, is called after every completed cycle with the
+	// 1-based cycle number and the RMS coordinate change over that cycle —
+	// the hook the serving layer uses for cycle-level progress reporting.
+	OnCycle func(cycle int, rmsChange float64)
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -96,6 +105,12 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 	res := Result{}
 	prev := append([]float64(nil), s.X...)
 	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				res.Residual = WeightedResidual(s, cons)
+				return res, err
+			}
+		}
 		s.ResetCovariance(opt.InitVar)
 		if _, err := u.ApplyAll(s, batches); err != nil {
 			return res, err
@@ -105,6 +120,9 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 		mat.SubVec(diff, s.X, prev)
 		res.RMSChange = mat.RMS(diff)
 		copy(prev, s.X)
+		if opt.OnCycle != nil {
+			opt.OnCycle(res.Cycles, res.RMSChange)
+		}
 		if res.RMSChange < opt.Tol {
 			res.Converged = true
 			break

@@ -29,6 +29,98 @@ func (p *ExecPlan) groupsFor(n *Node) []ChildGroup {
 	return p.Groups[n]
 }
 
+// SketchGroup is one processor group of a PlanSketch entry: the child
+// indices it executes sequentially and the processors it holds.
+type SketchGroup struct {
+	Children []int `json:"children"`
+	Procs    int   `json:"procs"`
+}
+
+// SketchEntry records the group partition at one internal node, identified
+// by its child-index path from the root (the root itself has an empty path).
+type SketchEntry struct {
+	Path   []int         `json:"path"`
+	Groups []SketchGroup `json:"groups"`
+}
+
+// PlanSketch is a tree-shape-relative encoding of an ExecPlan. Where an
+// ExecPlan is keyed by *Node pointers and therefore bound to one built tree,
+// a sketch refers to nodes by child-index path, so it can be reapplied to
+// any freshly built tree with the same shape — the mechanism behind plan
+// caching across repeated solves of the same problem topology.
+type PlanSketch struct {
+	Procs   int           `json:"procs"` // team size the plan was computed for
+	Entries []SketchEntry `json:"entries"`
+}
+
+// Sketch converts the plan into its tree-relative form. A nil plan (pure
+// sequential execution) yields a nil sketch.
+func (p *ExecPlan) Sketch(root *Node, procs int) *PlanSketch {
+	if p == nil || len(p.Groups) == 0 {
+		return nil
+	}
+	sk := &PlanSketch{Procs: procs}
+	var rec func(n *Node, path []int)
+	rec = func(n *Node, path []int) {
+		if groups := p.groupsFor(n); groups != nil {
+			index := make(map[*Node]int, len(n.Children))
+			for i, c := range n.Children {
+				index[c] = i
+			}
+			entry := SketchEntry{Path: append([]int(nil), path...)}
+			for _, g := range groups {
+				sg := SketchGroup{Procs: g.Procs}
+				for _, c := range g.Nodes {
+					sg.Children = append(sg.Children, index[c])
+				}
+				entry.Groups = append(entry.Groups, sg)
+			}
+			sk.Entries = append(sk.Entries, entry)
+		}
+		for i, c := range n.Children {
+			rec(c, append(path, i))
+		}
+	}
+	rec(root, nil)
+	return sk
+}
+
+// ApplySketch rebinds a sketch to a (possibly different) tree of the same
+// shape and validates the result. It returns an error when the sketch does
+// not fit the tree — e.g. a path leads outside it — so callers can fall
+// back to recomputing the assignment from scratch.
+func ApplySketch(root *Node, sk *PlanSketch) (*ExecPlan, error) {
+	if sk == nil {
+		return nil, nil
+	}
+	plan := NewExecPlan()
+	for _, entry := range sk.Entries {
+		n := root
+		for _, i := range entry.Path {
+			if i < 0 || i >= len(n.Children) {
+				return nil, fmt.Errorf("hier: sketch path %v leaves the tree at node %q", entry.Path, n.Name)
+			}
+			n = n.Children[i]
+		}
+		groups := make([]ChildGroup, 0, len(entry.Groups))
+		for _, sg := range entry.Groups {
+			g := ChildGroup{Procs: sg.Procs}
+			for _, ci := range sg.Children {
+				if ci < 0 || ci >= len(n.Children) {
+					return nil, fmt.Errorf("hier: sketch group child %d out of range at node %q", ci, n.Name)
+				}
+				g.Nodes = append(g.Nodes, n.Children[ci])
+			}
+			groups = append(groups, g)
+		}
+		plan.Groups[n] = groups
+	}
+	if err := plan.Validate(root, sk.Procs); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
 // Validate checks that every plan entry partitions the node's children and
 // that processor counts are positive and sum to totals consistent with a
 // team of size procs at the root.

@@ -1,6 +1,7 @@
 package hier
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -30,6 +31,13 @@ type Options struct {
 	// GateSigma, when positive, enables innovation gating of outlier
 	// observations (see filter.Updater.GateSigma).
 	GateSigma float64
+	// Ctx, when non-nil, is checked between cycles: a cancelled or expired
+	// context stops the iteration and Solve returns the context's error
+	// together with the state and progress so far.
+	Ctx context.Context
+	// OnCycle, when non-nil, is called after every completed cycle with the
+	// 1-based cycle number and the RMS coordinate change over that cycle.
+	OnCycle func(cycle int, rmsChange float64)
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +86,11 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 	var state *filter.State
 	res := Result{}
 	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return state, res, err
+			}
+		}
 		var err error
 		state, err = UpdatePass(root, positions, opt)
 		if err != nil {
@@ -94,6 +107,9 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 			positions[a] = p
 		}
 		res.RMSChange = rms(sum, 3*len(root.Atoms))
+		if opt.OnCycle != nil {
+			opt.OnCycle(res.Cycles, res.RMSChange)
+		}
 		if res.RMSChange < opt.Tol {
 			res.Converged = true
 			break

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"phmse/internal/core"
+)
+
+// planCache is a bounded LRU cache of topology-keyed planning artifacts
+// (decomposition tree + static processor assignment). The paper's central
+// observation is that the decomposition and schedule are invariant across
+// re-solves of the same topology — they depend on which atoms are coupled,
+// not on the measured values — so a server handling repeated estimation
+// cycles should pay for planning once per topology, not once per request.
+type planCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key string
+	art *core.PlanArtifacts
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// planKey widens the topology hash with the construction parameters the
+// artifacts depend on, so one topology solved under different team sizes
+// or batch dimensions occupies distinct slots.
+func planKey(topoHash string, mode core.Mode, procs, batch, leaf int, auto bool) string {
+	return fmt.Sprintf("%s|m=%v|p=%d|b=%d|l=%d|a=%v", topoHash, mode, procs, batch, leaf, auto)
+}
+
+// get returns the cached artifacts for the key, recording a hit or miss.
+func (c *planCache) get(key string) (*core.PlanArtifacts, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
+// put stores artifacts under the key, evicting the least recently used
+// entry when the cache is full.
+func (c *planCache) put(key string, art *core.PlanArtifacts) {
+	if art == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).art = art
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, art: art})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns (hits, misses, live entries).
+func (c *planCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

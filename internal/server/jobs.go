@@ -1,0 +1,425 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phmse/internal/core"
+	"phmse/internal/encode"
+	"phmse/internal/molecule"
+	"phmse/internal/trace"
+)
+
+// JobState is the lifecycle state of a submitted solve.
+type JobState string
+
+// The job lifecycle: queued → running → one of the three terminal states.
+// A queued job can also move directly to cancelled.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Submission errors, distinguished so the HTTP layer can map them to 503
+// and 429 respectively.
+var (
+	ErrDraining  = errors.New("server: draining, not accepting jobs")
+	ErrQueueFull = errors.New("server: job queue full")
+)
+
+// job is one submitted solve and its full lifecycle record.
+type job struct {
+	id      string
+	problem *molecule.Problem
+	params  encode.SolveParams
+
+	mu        sync.Mutex
+	state     JobState
+	cycle     int
+	rmsChange float64
+	errMsg    string
+	cacheHit  bool
+	sol       *core.Solution
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // set while running
+	done      chan struct{}      // closed on reaching a terminal state
+}
+
+// JobStatus is a point-in-time snapshot of a job, as reported by the API.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Problem identification.
+	Problem     string `json:"problem"`
+	Atoms       int    `json:"atoms"`
+	Constraints int    `json:"constraints"`
+	// Cycle-level progress (meaningful once running).
+	Cycle     int     `json:"cycle"`
+	RMSChange float64 `json:"rms_change"`
+	// PlanCacheHit reports whether construction reused cached planning
+	// artifacts for this topology.
+	PlanCacheHit bool   `json:"plan_cache_hit"`
+	Error        string `json:"error,omitempty"`
+	SubmittedAt  string `json:"submitted_at,omitempty"`
+	StartedAt    string `json:"started_at,omitempty"`
+	FinishedAt   string `json:"finished_at,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Problem:      j.problem.Name,
+		Atoms:        len(j.problem.Atoms),
+		Constraints:  len(j.problem.Constraints),
+		Cycle:        j.cycle,
+		RMSChange:    j.rmsChange,
+		PlanCacheHit: j.cacheHit,
+		Error:        j.errMsg,
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	st.SubmittedAt = stamp(j.submitted)
+	st.StartedAt = stamp(j.started)
+	st.FinishedAt = stamp(j.finished)
+	return st
+}
+
+// result returns the solution when the job is done.
+func (j *job) result() (*core.Solution, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.sol, j.state
+}
+
+// setProgress records cycle-level progress from the solver's OnCycle hook.
+func (j *job) setProgress(cycle int, rms float64) {
+	j.mu.Lock()
+	j.cycle = cycle
+	j.rmsChange = rms
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes any waiters.
+func (j *job) finish(state JobState, errMsg string, sol *core.Solution) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = errMsg
+	j.sol = sol
+	j.finished = time.Now()
+	j.cancel = nil
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// manager owns the bounded job queue, the worker pool, and the job records.
+type manager struct {
+	cfg   Config
+	cache *planCache
+	rec   *trace.Collector
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string // submission order, for pruning old records
+	nextID   int64
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+}
+
+func newManager(cfg Config) *manager {
+	m := &manager{
+		cfg:   cfg,
+		cache: newPlanCache(cfg.CacheSize),
+		rec:   &trace.Collector{},
+		jobs:  make(map[string]*job),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	m.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// submit validates queue capacity and registers the job. The queue is
+// bounded: a full queue rejects the submission immediately (backpressure)
+// rather than letting latency grow without bound.
+func (m *manager) submit(p *molecule.Problem, params encode.SolveParams) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	m.nextID++
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", m.nextID),
+		problem:   p,
+		params:    params,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.pruneLocked()
+	m.submitted.Add(1)
+	return j, nil
+}
+
+// pruneLocked drops the oldest terminal job records above the retention
+// bound so the record map cannot grow without limit.
+func (m *manager) pruneLocked() {
+	if len(m.jobs) <= m.cfg.MaxRecords {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(m.jobs) > m.cfg.MaxRecords && j.terminal() {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCancelled
+}
+
+// get returns the job record for an id.
+func (m *manager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// requestCancel cancels a job: queued jobs move to cancelled immediately
+// (the worker skips them when dequeued), running jobs have their context
+// cancelled and stop at the next cycle boundary. It reports whether the
+// job existed.
+func (m *manager) requestCancel(id string) (*job, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.errMsg = "cancelled while queued"
+		j.finished = time.Now()
+		close(j.done)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	return j, true
+}
+
+// run executes one dequeued job end to end.
+func (m *manager) run(j *job) {
+	ctx := context.Background()
+	var timeoutCancel context.CancelFunc
+	if ms := j.params.TimeoutMillis; ms > 0 {
+		ctx, timeoutCancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer timeoutCancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting in the queue
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	sol, err := m.solve(ctx, j)
+	switch {
+	case err == nil:
+		j.finish(StateDone, "", sol)
+	case errors.Is(err, context.Canceled):
+		j.finish(StateCancelled, "cancelled while running", nil)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateFailed, fmt.Sprintf("timeout after %d ms", j.params.TimeoutMillis), nil)
+	default:
+		j.finish(StateFailed, err.Error(), nil)
+	}
+}
+
+// solve builds the estimator (reusing cached planning artifacts when the
+// topology was seen before) and runs it under the job's context.
+func (m *manager) solve(ctx context.Context, j *job) (*core.Solution, error) {
+	params := j.params
+	mode := core.Hierarchical
+	if params.Mode == "flat" {
+		mode = core.Flat
+	}
+	// Per-job processor-team allocation: the request may ask for fewer
+	// processors, but never more than the per-job share of the machine —
+	// Workers × ProcsPerJob is sized to GOMAXPROCS, so concurrent solves
+	// do not oversubscribe it.
+	procs := params.Procs
+	if procs <= 0 || procs > m.cfg.ProcsPerJob {
+		procs = m.cfg.ProcsPerJob
+	}
+	batch := params.BatchSize
+	if batch <= 0 {
+		batch = 16
+	}
+	const leafSize = 16
+
+	cfg := core.Config{
+		Mode:          mode,
+		Procs:         procs,
+		BatchSize:     batch,
+		MaxCycles:     params.MaxCycles,
+		Tol:           params.Tol,
+		AutoDecompose: params.Auto,
+		LeafSize:      leafSize,
+		Recorder:      m.rec,
+		OnCycle:       j.setProgress,
+	}
+
+	var est *core.Estimator
+	var err error
+	if mode == core.Flat {
+		est, err = core.New(j.problem, cfg)
+	} else {
+		key := planKey(encode.TopologyHash(j.problem), mode, procs, batch, leafSize, params.Auto)
+		art, hit := m.cache.get(key)
+		var fresh *core.PlanArtifacts
+		est, fresh, err = core.NewWithPlan(j.problem, cfg, art)
+		// Record the hit as soon as it is known so a status poll during
+		// the solve already reports it.
+		j.mu.Lock()
+		j.cacheHit = hit
+		j.mu.Unlock()
+		if err == nil && !hit {
+			m.cache.put(key, fresh)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("building estimator: %w", err)
+	}
+
+	perturb := params.Perturb
+	if perturb == 0 {
+		perturb = 0.5
+	} else if perturb < 0 {
+		perturb = 0
+	}
+	seed := params.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	init := molecule.Perturbed(j.problem, perturb, seed)
+	return est.SolveContext(ctx, init)
+}
+
+// queueDepth returns the number of jobs waiting for a worker.
+func (m *manager) queueDepth() int { return len(m.queue) }
+
+// countByState scans the job records and tallies them by state.
+func (m *manager) countByState() map[JobState]int {
+	m.mu.Lock()
+	records := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		records = append(records, j)
+	}
+	m.mu.Unlock()
+	counts := map[JobState]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}
+	for _, j := range records {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	return counts
+}
+
+// shutdown stops intake and drains the queue: already-accepted jobs (both
+// running and queued) are allowed to finish. When ctx expires first, every
+// remaining job is cancelled and shutdown waits for the workers to observe
+// the cancellation, returning ctx's error to signal the forced drain.
+func (m *manager) shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	already := m.draining
+	m.draining = true
+	if !already {
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+		return nil
+	case <-ctx.Done():
+	}
+	// Forced drain: cancel everything still alive and wait for the workers
+	// to wind down (cancellation is observed at the next cycle boundary).
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.jobs))
+	for id := range m.jobs {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	for _, id := range ids {
+		m.requestCancel(id)
+	}
+	<-workersDone
+	return ctx.Err()
+}

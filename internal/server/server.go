@@ -1,0 +1,284 @@
+// Package server implements phmsed, the structure-estimation daemon: an
+// HTTP/JSON API over the encode problem format with a bounded job queue, a
+// worker pool sized to the machine, a topology-keyed plan cache, per-job
+// cancellation and timeouts, and graceful shutdown. It is the serving
+// layer the scaling roadmap (sharding, batching, multi-backend) builds on.
+//
+// Endpoints:
+//
+//	POST /v1/solve            submit a problem (async); 202 + job id
+//	GET  /v1/jobs/{id}        job status with cycle-level progress
+//	GET  /v1/jobs/{id}/result solution JSON (or ?format=pdb)
+//	POST /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET  /healthz             liveness (503 while draining)
+//	GET  /metrics             expvar-style counters, JSON
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"time"
+
+	"phmse/internal/encode"
+	"phmse/internal/pdb"
+	"phmse/internal/trace"
+)
+
+// maxRequestBody bounds a solve request body (64 MiB holds a problem two
+// orders of magnitude larger than the paper's ribosome).
+const maxRequestBody = 64 << 20
+
+// Config sizes the daemon. The zero value selects defaults that share the
+// machine without oversubscription: Workers × ProcsPerJob ≈ GOMAXPROCS.
+type Config struct {
+	// Workers is the number of concurrent solves (default: half of
+	// GOMAXPROCS, at least 1).
+	Workers int
+	// ProcsPerJob is the processor-team size each solve is built with
+	// (default: GOMAXPROCS / Workers, at least 1). Requests may ask for
+	// fewer processors but are capped at this share.
+	ProcsPerJob int
+	// QueueDepth bounds the number of jobs waiting for a worker; further
+	// submissions are rejected with 429 (default 32).
+	QueueDepth int
+	// CacheSize bounds the plan cache entries (default 64; 0 keeps the
+	// default, negative disables caching).
+	CacheSize int
+	// MaxRecords bounds retained job records (default 1024).
+	MaxRecords int
+}
+
+func (c Config) withDefaults() Config {
+	maxProcs := runtime.GOMAXPROCS(0)
+	if c.Workers <= 0 {
+		c.Workers = maxProcs / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.ProcsPerJob <= 0 {
+		c.ProcsPerJob = maxProcs / c.Workers
+		if c.ProcsPerJob < 1 {
+			c.ProcsPerJob = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
+	if c.MaxRecords <= 0 {
+		c.MaxRecords = 1024
+	}
+	return c
+}
+
+// Server is the phmsed HTTP handler plus its job manager. Create with New;
+// it starts accepting work immediately. Call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	mgr   *manager
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a serving instance and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mgr:   newManager(cfg),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown stops intake (new submissions get 503) and drains accepted
+// jobs. If ctx expires first, remaining jobs are cancelled and Shutdown
+// returns ctx's error once the workers have wound down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.mgr.shutdown(ctx)
+}
+
+// Tracer exposes the shared per-operation-class time collector, for tests
+// and embedding daemons.
+func (s *Server) Tracer() *trace.Collector { return s.mgr.rec }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+type apiError struct {
+	Error string   `json:"error"`
+	State JobState `json:"state,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	p, params, err := encode.ReadSolveRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	j, err := s.mgr.submit(p, params)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, j.status())
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case err == ErrDraining:
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.requestCancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		return
+	}
+	sol, state := j.result()
+	if state != StateDone || sol == nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: "job has no result", State: state})
+		return
+	}
+	if r.URL.Query().Get("format") == "pdb" {
+		sigma := make([]float64, len(sol.Variances))
+		for i, v := range sol.Variances {
+			sigma[i] = math.Sqrt(v)
+		}
+		w.Header().Set("Content-Type", "chemical/x-pdb")
+		if err := pdb.Write(w, j.problem.Name, j.problem.Atoms, sol.Positions, sigma); err != nil {
+			// Headers are gone; all we can do is log-style report in-band.
+			fmt.Fprintf(w, "REMARK   phmsed: write error: %v\n", err)
+		}
+		return
+	}
+	doc := encode.NewSolutionDoc(j.problem.Name, sol.Positions, sol.Variances,
+		sol.Cycles, sol.Converged, sol.RMSChange, sol.Residual)
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mgr.mu.Lock()
+	draining := s.mgr.draining
+	s.mgr.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics is the JSON document served at /metrics.
+type Metrics struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Jobs          MetricsJobs      `json:"jobs"`
+	Queue         MetricsQueue     `json:"queue"`
+	PlanCache     MetricsPlanCache `json:"plan_cache"`
+	// OpTimes is the per-operation-class time breakdown accumulated across
+	// all solves (the paper's d-s/chol/sys/m-m/m-v/vec accounting).
+	OpTimes trace.Snapshot `json:"op_times"`
+}
+
+// MetricsJobs tallies jobs by lifecycle state plus intake counters.
+type MetricsJobs struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+	Cancelled int   `json:"cancelled"`
+}
+
+// MetricsQueue reports queue occupancy.
+type MetricsQueue struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+}
+
+// MetricsPlanCache reports plan-cache effectiveness.
+type MetricsPlanCache struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Snapshot assembles the current metrics document.
+func (s *Server) Snapshot() Metrics {
+	counts := s.mgr.countByState()
+	hits, misses, entries := s.mgr.cache.stats()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Jobs: MetricsJobs{
+			Submitted: s.mgr.submitted.Load(),
+			Rejected:  s.mgr.rejected.Load(),
+			Queued:    counts[StateQueued],
+			Running:   counts[StateRunning],
+			Done:      counts[StateDone],
+			Failed:    counts[StateFailed],
+			Cancelled: counts[StateCancelled],
+		},
+		Queue: MetricsQueue{
+			Depth:    s.mgr.queueDepth(),
+			Capacity: s.cfg.QueueDepth,
+			Workers:  s.cfg.Workers,
+		},
+		PlanCache: MetricsPlanCache{Hits: hits, Misses: misses, Entries: entries},
+		OpTimes:   s.mgr.rec.Snapshot(),
+	}
+	if total := hits + misses; total > 0 {
+		m.PlanCache.HitRate = float64(hits) / float64(total)
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}

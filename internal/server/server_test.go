@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"phmse/internal/encode"
+	"phmse/internal/molecule"
+)
+
+// problemJSON renders a problem in the interchange format.
+func problemJSON(t *testing.T, p *molecule.Problem) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := encode.WriteProblem(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// helix returns a small anchored helix problem that converges quickly
+// under default solver parameters.
+func helix(bp int) *molecule.Problem {
+	return molecule.WithAnchors(molecule.Helix(bp), 4, 0.05)
+}
+
+// submitBody assembles a POST /v1/solve body.
+func submitBody(t *testing.T, p *molecule.Problem, params encode.SolveParams) []byte {
+	t.Helper()
+	req := encode.SolveRequest{Problem: problemJSON(t, p), Params: params}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// slowParams makes a job effectively non-converging: an unreachable
+// tolerance with a huge cycle budget, so it runs until cancelled.
+func slowParams() encode.SolveParams {
+	return encode.SolveParams{Tol: 1e-12, MaxCycles: 1_000_000, Perturb: 0.4, Seed: 17}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		// Force-drain whatever the test left running, then close.
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return srv, ts
+}
+
+// doJSON issues a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submit(t *testing.T, ts *httptest.Server, p *molecule.Problem, params encode.SolveParams) JobStatus {
+	t.Helper()
+	var st JobStatus
+	code := doJSON(t, "POST", ts.URL+"/v1/solve", submitBody(t, p, params), &st)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	if st.ID == "" {
+		t.Fatal("submit: no job id")
+	}
+	return st
+}
+
+// waitState polls until the job reaches any of the wanted states.
+func waitState(t *testing.T, ts *httptest.Server, id string, want ...JobState) JobStatus {
+	t.Helper()
+	// Generous: the race detector slows solves by an order of magnitude.
+	deadline := time.Now().Add(180 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, nil, &st); code != http.StatusOK {
+			t.Fatalf("status poll: %d", code)
+		}
+		for _, w := range want {
+			if st.State == w {
+				return st
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %v in time", id, want)
+	return JobStatus{}
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, ProcsPerJob: 1})
+	p := helix(2)
+	st := submit(t, ts, p, encode.SolveParams{Perturb: 0.4, Seed: 17})
+	st = waitState(t, ts, st.ID, StateDone, StateFailed)
+	if st.State != StateDone {
+		t.Fatalf("job failed: %+v", st)
+	}
+	if st.Cycle == 0 {
+		t.Fatalf("no cycle progress recorded: %+v", st)
+	}
+
+	var doc encode.SolutionDoc
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+st.ID+"/result", nil, &doc); code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	if !doc.Converged {
+		t.Fatalf("solution did not converge: %+v", doc)
+	}
+	if len(doc.Positions) != len(p.Atoms) || len(doc.Variances) != len(p.Atoms) {
+		t.Fatalf("result has %d positions, %d variances; want %d",
+			len(doc.Positions), len(doc.Variances), len(p.Atoms))
+	}
+
+	// PDB export of the same result.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/result?format=pdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pdbBuf bytes.Buffer
+	pdbBuf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(pdbBuf.String(), "ATOM") {
+		t.Fatalf("pdb export: status %d, body %q...", resp.StatusCode, pdbBuf.String()[:min(80, pdbBuf.Len())])
+	}
+}
+
+// Four helix jobs submitted simultaneously all complete and converge — the
+// concurrency acceptance criterion.
+func TestConcurrentSolves(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, ProcsPerJob: 1, QueueDepth: 8})
+	const n = 4
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Seeds 17–19 are known to converge for both helix sizes in
+			// hierarchical mode within the cycle budget.
+			st := submit(t, ts, helix(1+i%2), encode.SolveParams{Perturb: 0.4, Seed: int64(17 + i%3), MaxCycles: 400})
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		st := waitState(t, ts, id, StateDone, StateFailed, StateCancelled)
+		if st.State != StateDone {
+			t.Fatalf("job %s: %+v", id, st)
+		}
+		var doc encode.SolutionDoc
+		if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/result", nil, &doc); code != http.StatusOK {
+			t.Fatalf("result %s: status %d", id, code)
+		}
+		if !doc.Converged {
+			t.Fatalf("job %s did not converge", id)
+		}
+	}
+}
+
+// Re-submitting the same topology hits the plan cache, visible in /metrics.
+func TestPlanCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 2})
+	p := helix(1)
+	first := submit(t, ts, p, encode.SolveParams{Perturb: 0.4, Seed: 17})
+	waitState(t, ts, first.ID, StateDone, StateFailed)
+
+	// Same topology, different measurement noise and seed: must reuse the
+	// cached decomposition and schedule.
+	second := submit(t, ts, p, encode.SolveParams{Perturb: 0.3, Seed: 99})
+	st := waitState(t, ts, second.ID, StateDone, StateFailed)
+	if st.State != StateDone {
+		t.Fatalf("second job: %+v", st)
+	}
+	if !st.PlanCacheHit {
+		t.Fatalf("second solve of the same topology missed the plan cache: %+v", st)
+	}
+
+	m := srv.Snapshot()
+	if m.PlanCache.Hits < 1 || m.PlanCache.Misses < 1 {
+		t.Fatalf("plan cache metrics: %+v", m.PlanCache)
+	}
+	var viaHTTP Metrics
+	if code := doJSON(t, "GET", ts.URL+"/metrics", nil, &viaHTTP); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if viaHTTP.PlanCache.Hits < 1 {
+		t.Fatalf("metrics endpoint reports no cache hits: %+v", viaHTTP.PlanCache)
+	}
+	if viaHTTP.OpTimes.TotalSeconds <= 0 {
+		t.Fatalf("metrics endpoint reports no op-class time: %+v", viaHTTP.OpTimes)
+	}
+}
+
+// A full queue rejects further submissions with 429 backpressure.
+func TestQueueFullBackpressure(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 1, QueueDepth: 1})
+	// One slow job occupies the worker; one more fills the queue.
+	running := submit(t, ts, helix(1), slowParams())
+	waitState(t, ts, running.ID, StateRunning)
+	queued := submit(t, ts, helix(1), slowParams())
+
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	code := doJSON(t, "POST", ts.URL+"/v1/solve", submitBody(t, helix(1), slowParams()), &apiErr)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", code)
+	}
+	if apiErr.Error == "" {
+		t.Fatal("overflow submit: empty error message")
+	}
+
+	// Cancelling the running job lets the queued one start.
+	doJSON(t, "POST", ts.URL+"/v1/jobs/"+running.ID+"/cancel", nil, nil)
+	waitState(t, ts, running.ID, StateCancelled)
+	waitState(t, ts, queued.ID, StateRunning)
+	doJSON(t, "POST", ts.URL+"/v1/jobs/"+queued.ID+"/cancel", nil, nil)
+	waitState(t, ts, queued.ID, StateCancelled)
+}
+
+// Cancelling a running job stops it before convergence with state
+// "cancelled"; cancelling a queued job never runs it.
+func TestCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 1, QueueDepth: 4})
+	running := submit(t, ts, helix(2), slowParams())
+	st := waitState(t, ts, running.ID, StateRunning)
+	// Let it make some cycles so the cancellation is genuinely mid-solve.
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Cycle < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+		st = waitState(t, ts, running.ID, StateRunning, StateCancelled, StateDone, StateFailed)
+		if st.State != StateRunning {
+			t.Fatalf("slow job left running state early: %+v", st)
+		}
+	}
+
+	queued := submit(t, ts, helix(1), slowParams())
+	var cancelled JobStatus
+	if code := doJSON(t, "POST", ts.URL+"/v1/jobs/"+queued.ID+"/cancel", nil, &cancelled); code != http.StatusOK {
+		t.Fatalf("cancel queued: status %d", code)
+	}
+	if cancelled.State != StateCancelled {
+		t.Fatalf("queued job after cancel: %+v", cancelled)
+	}
+
+	doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+running.ID, nil, nil)
+	st = waitState(t, ts, running.ID, StateCancelled)
+	if st.Cycle >= 1_000_000 {
+		t.Fatalf("job ran to completion despite cancellation: %+v", st)
+	}
+	// A cancelled job has no result.
+	var apiErr struct {
+		Error string   `json:"error"`
+		State JobState `json:"state"`
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/"+running.ID+"/result", nil, &apiErr); code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: status %d, want 409", code)
+	}
+	if apiErr.State != StateCancelled {
+		t.Fatalf("result error state: %+v", apiErr)
+	}
+}
+
+// A per-request timeout fails the job with a deadline error.
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 1})
+	params := slowParams()
+	params.TimeoutMillis = 50
+	st := submit(t, ts, helix(2), params)
+	st = waitState(t, ts, st.ID, StateDone, StateFailed, StateCancelled)
+	if st.State != StateFailed || !strings.Contains(st.Error, "timeout") {
+		t.Fatalf("timed-out job: %+v", st)
+	}
+}
+
+// Shutdown drains the running job, rejects new submissions with 503, and
+// flips /healthz to draining.
+func TestGracefulShutdownDrains(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 1, QueueDepth: 4})
+	running := submit(t, ts, helix(2), slowParams())
+	waitState(t, ts, running.ID, StateRunning)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// Intake must close promptly even while a job is still running.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code := doJSON(t, "POST", ts.URL+"/v1/solve", submitBody(t, helix(1), slowParams()), nil)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submissions still accepted during drain (last status %d)", code)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/healthz", nil, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: status %d, want 503", code)
+	}
+
+	// The in-flight job keeps running until released; cancelling it lets
+	// the drain complete without hitting the forced path.
+	doJSON(t, "POST", ts.URL+"/v1/jobs/"+running.ID+"/cancel", nil, nil)
+	select {
+	case err := <-shutdownErr:
+		if err != nil {
+			t.Fatalf("graceful drain returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("shutdown did not complete after the running job finished")
+	}
+	waitState(t, ts, running.ID, StateCancelled)
+}
+
+// Forced shutdown (expired drain context) cancels in-flight jobs itself.
+func TestForcedShutdownCancels(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 1})
+	running := submit(t, ts, helix(2), slowParams())
+	waitState(t, ts, running.ID, StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("forced drain error = %v, want deadline exceeded", err)
+	}
+	waitState(t, ts, running.ID, StateCancelled)
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, ProcsPerJob: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ``},
+		{"no problem", `{}`},
+		{"malformed json", `{"problem": {`},
+		{"bad mode", fmt.Sprintf(`{"problem": %s, "params": {"mode": "diagonal"}}`, problemJSON(t, helix(1)))},
+		{"no atoms", `{"problem": {"name": "empty"}}`},
+		{"bad constraint", `{"problem": {"atoms": [{"pos": [0,0,0]}], "constraints": [{"type": "distance", "i": 0, "j": 5, "sigma": 1}]}}`},
+	}
+	for _, tc := range cases {
+		if code := doJSON(t, "POST", ts.URL+"/v1/solve", []byte(tc.body), nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, code)
+		}
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := doJSON(t, "GET", ts.URL+"/v1/jobs/nope/result", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown job result: status %d, want 404", code)
+	}
+}

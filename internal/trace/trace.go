@@ -123,6 +123,35 @@ func (c *Collector) Flops() [NumClasses]float64 {
 	return c.flops
 }
 
+// Snapshot is an export-friendly view of a Collector, keyed by the paper's
+// operation-class abbreviations. It marshals cleanly to JSON, for the
+// serving layer's /metrics endpoint and other monitoring exports.
+type Snapshot struct {
+	// Seconds maps class abbreviation → accumulated wall-clock seconds.
+	Seconds map[string]float64 `json:"seconds"`
+	// Flops maps class abbreviation → accumulated floating-point operations.
+	Flops map[string]float64 `json:"flops"`
+	// TotalSeconds is the sum of Seconds over all classes.
+	TotalSeconds float64 `json:"total_seconds"`
+}
+
+// Snapshot returns a consistent export view of the accumulated state. A nil
+// Collector yields a zero-valued (but non-nil-mapped) snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Seconds: make(map[string]float64, NumClasses),
+		Flops:   make(map[string]float64, NumClasses),
+	}
+	times := c.Times()
+	flops := c.Flops()
+	for cl := Class(0); cl < NumClasses; cl++ {
+		s.Seconds[cl.String()] = times[cl]
+		s.Flops[cl.String()] = flops[cl]
+	}
+	s.TotalSeconds = times.Total()
+	return s
+}
+
 // Reset clears all accumulated state.
 func (c *Collector) Reset() {
 	if c == nil {

@@ -34,6 +34,7 @@ import (
 	"phmse/internal/constraint"
 	"phmse/internal/core"
 	"phmse/internal/distgeom"
+	"phmse/internal/encode"
 	"phmse/internal/energymin"
 	"phmse/internal/filter"
 	"phmse/internal/geom"
@@ -163,6 +164,13 @@ func Perturbed(p *Problem, sigma float64, seed int64) []Vec3 {
 
 // RMSD returns the root-mean-square deviation between two conformations.
 func RMSD(a, b []Vec3) float64 { return molecule.RMSD(a, b) }
+
+// TopologyHash returns a content hash of the problem's topology — atom
+// count, constraint graph (types and atom indices, not measurement
+// values), and hierarchical grouping. Problems with equal hashes share
+// decomposition and scheduling products; the phmsed daemon keys its plan
+// cache on it.
+func TopologyHash(p *Problem) string { return encode.TopologyHash(p) }
 
 // ConformSearch runs the low-resolution discrete conformational space
 // search to produce an initial structure estimate.
