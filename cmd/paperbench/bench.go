@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"phmse/internal/core"
+	"phmse/internal/geom"
+	"phmse/internal/mat"
+	"phmse/internal/molecule"
+	"phmse/internal/par"
+	"phmse/internal/trace"
+	"phmse/internal/workest"
+)
+
+// The bench experiment runs the repeatable benchmark pipeline and writes a
+// machine-readable report (BENCH_PR2.json by default): Table 1 flat-vs-hier
+// wall times with per-operation-class breakdowns, Table 2 per-constraint
+// cells, the covariance-kernel micro-benchmarks (dense pre-PR2 pipeline vs
+// symmetry-aware triangular kernels), and the Joseph-form solver ablation.
+// CI runs it non-blocking so the benchmark trajectory accumulates per PR.
+
+type benchReport struct {
+	When      string `json:"when"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Table1  []table1Bench         `json:"table1"`
+	Table2  []workest.Measurement `json:"table2"`
+	Kernels []kernelBench         `json:"kernels"`
+	Joseph  []josephBench         `json:"joseph_ablation"`
+}
+
+type table1Bench struct {
+	BP        int                `json:"bp"`
+	Atoms     int                `json:"atoms"`
+	Scalar    int                `json:"scalar_constraints"`
+	FlatSec   float64            `json:"flat_s"`
+	HierSec   float64            `json:"hier_s"`
+	Speedup   float64            `json:"speedup"`
+	FlatClass map[string]float64 `json:"flat_class_s"`
+	HierClass map[string]float64 `json:"hier_class_s"`
+}
+
+type kernelBench struct {
+	Form    string  `json:"form"` // "simple" or "joseph"
+	N       int     `json:"n"`
+	M       int     `json:"m"`
+	DenseNs float64 `json:"dense_ns_op"`
+	SyrkNs  float64 `json:"syrk_ns_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+type josephBench struct {
+	Form    string             `json:"form"` // "simple" or "joseph"
+	Seconds float64            `json:"solve_s"`
+	Class   map[string]float64 `json:"class_s"`
+}
+
+func bench(cfg config, path string) error {
+	header("Benchmark pipeline → " + path)
+	rep := benchReport{
+		When:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	// Table 1: flat vs hierarchical, real kernels, per-class breakdown.
+	sizes := []int{1, 2, 4}
+	if cfg.full {
+		sizes = []int{1, 2, 4, 8, 16}
+	}
+	fmt.Println("\n[table1: real kernels, per-class m-m accounting]")
+	for _, bp := range sizes {
+		h := molecule.Helix(bp)
+		init := h.TruePositions()
+		row := table1Bench{BP: bp, Atoms: len(h.Atoms), Scalar: h.ScalarDim()}
+		var err error
+		if row.FlatSec, row.FlatClass, err = timedSolveClasses(h, init, core.Flat); err != nil {
+			return err
+		}
+		if row.HierSec, row.HierClass, err = timedSolveClasses(h, init, core.Hierarchical); err != nil {
+			return err
+		}
+		row.Speedup = row.FlatSec / row.HierSec
+		rep.Table1 = append(rep.Table1, row)
+		fmt.Printf("  %2dbp flat %.3fs (m-m %.3fs)  hier %.3fs (m-m %.3fs)  speedup %.2f\n",
+			bp, row.FlatSec, row.FlatClass["m-m"], row.HierSec, row.HierClass["m-m"], row.Speedup)
+	}
+
+	// Table 2 cells (scaled down unless -full).
+	fmt.Println("\n[table2: per-scalar-constraint cost cells]")
+	rep.Table2 = table2Cells(cfg)
+	fmt.Printf("  %d cells measured\n", len(rep.Table2))
+
+	// Covariance-kernel micro-benchmarks.
+	fmt.Println("\n[kernels: dense pre-PR2 pipeline vs symmetry-aware triangular]")
+	for _, n := range []int{129, 516} {
+		for _, form := range []string{"simple", "joseph"} {
+			kb := kernelBenchRun(form, n, 16)
+			rep.Kernels = append(rep.Kernels, kb)
+			fmt.Printf("  %-6s n=%3d m=%2d: dense %.0f ns/op  syrk %.0f ns/op  speedup %.2f\n",
+				kb.Form, kb.N, kb.M, kb.DenseNs, kb.SyrkNs, kb.Speedup)
+		}
+	}
+
+	// Joseph-form solver ablation (flat helix, one cycle).
+	fmt.Println("\n[joseph ablation: flat helix-2 solve]")
+	for _, joseph := range []bool{false, true} {
+		h := molecule.Helix(2)
+		var rec trace.Collector
+		est, err := core.New(h, core.Config{Mode: core.Flat, MaxCycles: 1, BatchSize: 16, Joseph: joseph, Recorder: &rec})
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		if _, err := est.Solve(h.TruePositions()); err != nil {
+			return err
+		}
+		jb := josephBench{Form: map[bool]string{false: "simple", true: "joseph"}[joseph],
+			Seconds: time.Since(start).Seconds(), Class: rec.Snapshot().Seconds}
+		rep.Joseph = append(rep.Joseph, jb)
+		fmt.Printf("  %-6s %.3fs (m-m %.3fs)\n", jb.Form, jb.Seconds, jb.Class["m-m"])
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// timedSolveClasses is timedSolve with a per-operation-class breakdown
+// from the trace recorder.
+func timedSolveClasses(p *molecule.Problem, init []geom.Vec3, mode core.Mode) (float64, map[string]float64, error) {
+	var rec trace.Collector
+	est, err := core.New(p, core.Config{Mode: mode, MaxCycles: 1, BatchSize: 16, Recorder: &rec})
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	if _, err := est.Solve(init); err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start).Seconds(), rec.Snapshot().Seconds, nil
+}
+
+// kernelBenchRun times one covariance-update form at state dimension n and
+// batch dimension m, dense pipeline vs triangular kernels, via
+// testing.Benchmark for stable iteration counts.
+func kernelBenchRun(form string, n, m int) kernelBench {
+	c := mat.New(n, n)
+	k := mat.New(n, m)
+	a := mat.New(n, m)
+	for i := range c.Data {
+		c.Data[i] = float64((i*2654435761)%1000)/1000 - 0.5
+	}
+	mat.MirrorLower(c)
+	for i := range k.Data {
+		k.Data[i] = float64((i*40503)%1000)/1000 - 0.5
+		a.Data[i] = float64((i*9973)%1000)/1000 - 0.5
+	}
+	l := mat.Identity(m)
+	w := mat.New(n, m)
+	team := par.NewTeam(1)
+
+	var dense, syrk testing.BenchmarkResult
+	if form == "simple" {
+		dense = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.MulSubNTPar(team, c, k, a)
+				mat.SymmetrizePar(team, c)
+			}
+		})
+		syrk = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.Syr2kSubPar(team, c, k, a)
+			}
+		})
+	} else {
+		dense = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.MulSubNTPar(team, c, k, a)
+				mat.MulSubNTPar(team, c, a, k)
+				mat.MulPar(team, w, k, l)
+				mat.MulAddNTPar(team, c, w, w)
+				mat.SymmetrizePar(team, c)
+			}
+		})
+		syrk = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mat.MulPar(team, w, k, l)
+				mat.SyrkAddPar(team, c, w)
+				mat.Syr2kPairSubPar(team, c, k, a)
+			}
+		})
+	}
+	dn := float64(dense.NsPerOp())
+	sn := float64(syrk.NsPerOp())
+	return kernelBench{Form: form, N: n, M: m, DenseNs: dn, SyrkNs: sn, Speedup: dn / sn}
+}

@@ -15,7 +15,10 @@
 //	memory — §5 memory-behaviour comparison of the two organizations
 //	treestats — §3.1 constraint/work distribution over the hierarchy
 //	trees   — the Figure 2 / Figure 4 decomposition diagrams (as outlines)
-//	all     — everything above
+//	bench   — machine-readable benchmark pipeline: Table 1/Table 2 plus the
+//	          covariance-kernel micro-benchmarks and the Joseph ablation,
+//	          written as JSON (-json path, default BENCH_PR2.json)
+//	all     — everything above except bench
 //
 // Real-kernel experiments (table1, table2, eq1, combine) are scaled down by
 // default so the suite completes in about a minute; -full runs them at
@@ -31,9 +34,10 @@ import (
 )
 
 type config struct {
-	full   bool
-	seed   int64
-	csvDir string
+	full     bool
+	seed     int64
+	csvDir   string
+	jsonPath string
 }
 
 func main() {
@@ -41,6 +45,7 @@ func main() {
 	flag.BoolVar(&cfg.full, "full", false, "run real-kernel experiments at paper scale")
 	flag.Int64Var(&cfg.seed, "seed", 1996, "ribosome generator seed")
 	flag.StringVar(&cfg.csvDir, "csv", "figures", "output directory for the figures experiment")
+	flag.StringVar(&cfg.jsonPath, "json", "BENCH_PR2.json", "output path for the bench experiment")
 	flag.Parse()
 
 	exps := flag.Args()
@@ -85,6 +90,8 @@ func run(exp string, cfg config) error {
 		return memory(cfg)
 	case "treestats":
 		return treestats(cfg)
+	case "bench":
+		return bench(cfg, cfg.jsonPath)
 	case "all":
 		for _, e := range []string{
 			"table1", "table2", "eq1",

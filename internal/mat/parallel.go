@@ -65,12 +65,62 @@ func CholeskyPar(t *par.Team, a *Mat) error {
 			t.For(panel.Rows, func(lo, hi int) {
 				solveRightLowerT(panel.View(lo, 0, hi-lo, w), diag)
 			})
+			// The trailing update touches only the lower triangle, so the
+			// row blocks are balanced by triangle area, not row count.
 			trail := a.View(k+w, k+w, n-k-w, n-k-w)
-			t.For(trail.Rows, func(lo, hi int) { syrkSubLower(trail, panel, lo, hi) })
+			t.ForTri(trail.Rows, func(lo, hi int) { syrkSubLower(trail, panel, lo, hi) })
 		}
 	}
 	zeroUpper(a)
 	return nil
+}
+
+// SyrkSubPar computes the lower triangle of dst ← dst − A·Aᵀ with row
+// blocks of the triangle partitioned by area across the team (ForTri).
+func SyrkSubPar(t *par.Team, dst, a *Mat) {
+	checkSyrk(dst, a)
+	t.ForTri(dst.Rows, func(lo, hi int) { syrkSubLower(dst, a, lo, hi) })
+}
+
+// SyrkAddPar computes the lower triangle of dst ← dst + A·Aᵀ in parallel
+// over area-balanced triangular row blocks.
+func SyrkAddPar(t *par.Team, dst, a *Mat) {
+	checkSyrk(dst, a)
+	t.ForTri(dst.Rows, func(lo, hi int) { syrkAddLower(dst, a, lo, hi) })
+}
+
+// Syr2kSubPar is Syr2kSub (dst ← dst − A·Bᵀ, lower triangle computed and
+// mirrored in the same pass) over area-balanced triangular row blocks. The
+// mirrored writes land in upper-triangle entries owned exclusively by the
+// writing worker, so the partitioning is race-free.
+func Syr2kSubPar(t *par.Team, dst, a, b *Mat) {
+	checkSyr2k(dst, a, b)
+	t.ForTri(dst.Rows, func(lo, hi int) { syr2kSubRange(dst, a, b, lo, hi) })
+}
+
+// Syr2kPairSubPar is Syr2kPairSub (dst ← dst − A·Bᵀ − B·Aᵀ, lower triangle
+// computed and mirrored) over area-balanced triangular row blocks.
+func Syr2kPairSubPar(t *par.Team, dst, a, b *Mat) {
+	checkSyr2k(dst, a, b)
+	t.ForTri(dst.Rows, func(lo, hi int) { syr2kPairSubRange(dst, a, b, lo, hi) })
+}
+
+// MirrorLowerPar copies the strict lower triangle onto the upper triangle in
+// parallel over area-balanced triangular row blocks.
+func MirrorLowerPar(t *par.Team, m *Mat) {
+	if m.Rows != m.Cols {
+		panic("mat: MirrorLowerPar on non-square matrix")
+	}
+	t.ForTri(m.Rows, func(lo, hi int) { mirrorLowerRange(m, lo, hi) })
+}
+
+// SymMulVecPar computes dst ← C·x for symmetric C reading only the lower
+// triangle, with rows partitioned across the team. Each row costs O(n)
+// regardless of its index (row part plus column part), so the plain row
+// split of For is already balanced here.
+func SymMulVecPar(t *par.Team, dst []float64, c *Mat, x []float64) {
+	checkSymMulVec(dst, c, x)
+	t.For(c.Rows, func(lo, hi int) { symMulVecRange(dst, c, x, lo, hi) })
 }
 
 // MulVecPar computes dst ← A·x with rows partitioned across the team.
@@ -85,7 +135,11 @@ func MulVecPar(t *par.Team, dst []float64, a *Mat, x []float64) {
 	})
 }
 
-// SymmetrizePar forces symmetry of a square matrix in parallel over rows.
+// SymmetrizePar forces symmetry of a square matrix in parallel over rows by
+// averaging mirrored entries. The per-batch covariance hot path no longer
+// needs it — the mirrored triangular kernels (Syr2kSubPar and friends) leave
+// the matrix exactly symmetric — but it remains for consumers that build a
+// nearly-symmetric matrix some other way.
 func SymmetrizePar(t *par.Team, m *Mat) {
 	if m.Rows != m.Cols {
 		panic("mat: SymmetrizePar on non-square matrix")

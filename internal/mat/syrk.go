@@ -1,0 +1,162 @@
+package mat
+
+// Symmetry-aware kernels for the covariance update ("m-m" class). The exact
+// measurement update C⁺ = C⁻ − K·Aᵀ (and its Joseph-form expansion) produces
+// a symmetric matrix by construction, so computing all n² entries and then
+// averaging away the round-off skew (Symmetrize) wastes half the flops of
+// the single hottest operation class in the paper's Tables 1–6. The kernels
+// here compute only the lower triangle — a SYRK/SYR2K-style formulation —
+// and either leave the upper triangle untouched (SyrkSub/SyrkAdd, for
+// composing several triangular updates) or mirror each entry to the upper
+// triangle in the same pass (Syr2kSub/Syr2kPairSub, for the final update of
+// a batch), which removes the separate O(n²) symmetrization sweep entirely.
+//
+// Mirroring in-pass is race-free under the triangular row partitioning of
+// par.Team.ForTri: the worker owning row i writes the lower entries (i, j≤i)
+// of its own rows plus the mirrored upper entries (j, i) — and an upper
+// entry of row j is written only by the owner of row i, never by the owner
+// of row j, so writes never overlap.
+
+// SyrkSub computes the lower triangle of dst ← dst − A·Aᵀ. The strict upper
+// triangle of dst is left untouched. dst must be square with as many rows
+// as A.
+func SyrkSub(dst, a *Mat) {
+	checkSyrk(dst, a)
+	syrkSubLower(dst, a, 0, dst.Rows)
+}
+
+// SyrkAdd computes the lower triangle of dst ← dst + A·Aᵀ, leaving the
+// strict upper triangle untouched.
+func SyrkAdd(dst, a *Mat) {
+	checkSyrk(dst, a)
+	syrkAddLower(dst, a, 0, dst.Rows)
+}
+
+// Syr2kSub computes dst ← dst − A·Bᵀ for operand pairs whose exact result
+// is symmetric (such as the simple covariance update C − K·Aᵀ, where
+// K·Aᵀ = A·S⁻¹·Aᵀ): only the lower-triangle entries are computed, and each
+// is mirrored to the upper triangle in the same pass. This halves the flops
+// of the full rectangular product and leaves dst exactly symmetric, so no
+// follow-up symmetrization is needed. For operands without the symmetry
+// guarantee the result is the symmetric completion of the lower triangle of
+// the exact product.
+func Syr2kSub(dst, a, b *Mat) {
+	checkSyr2k(dst, a, b)
+	syr2kSubRange(dst, a, b, 0, dst.Rows)
+}
+
+// Syr2kPairSub computes the true symmetric rank-2k update
+// dst ← dst − A·Bᵀ − B·Aᵀ on the lower triangle, mirroring each entry to
+// the upper triangle in the same pass. The update is exactly symmetric for
+// any operands (it subtracts M + Mᵀ), so dst ends exactly symmetric
+// whenever it starts symmetric on the lower triangle.
+func Syr2kPairSub(dst, a, b *Mat) {
+	checkSyr2k(dst, a, b)
+	syr2kPairSubRange(dst, a, b, 0, dst.Rows)
+}
+
+// MirrorLower copies the strict lower triangle of the square matrix m onto
+// its strict upper triangle, making m exactly symmetric. It is the closing
+// pass after a sequence of lower-triangle-only kernels.
+func MirrorLower(m *Mat) {
+	if m.Rows != m.Cols {
+		panic("mat: MirrorLower on non-square matrix")
+	}
+	mirrorLowerRange(m, 0, m.Rows)
+}
+
+// SymMulVec computes dst ← C·x for a symmetric matrix C, reading only the
+// lower triangle of C (the upper triangle may hold garbage).
+func SymMulVec(dst []float64, c *Mat, x []float64) {
+	checkSymMulVec(dst, c, x)
+	symMulVecRange(dst, c, x, 0, c.Rows)
+}
+
+func checkSyrk(dst, a *Mat) {
+	if dst.Rows != dst.Cols || dst.Rows != a.Rows {
+		panic("mat: Syrk dimension mismatch")
+	}
+}
+
+func checkSyr2k(dst, a, b *Mat) {
+	if dst.Rows != dst.Cols || dst.Rows != a.Rows || dst.Rows != b.Rows || a.Cols != b.Cols {
+		panic("mat: Syr2k dimension mismatch")
+	}
+}
+
+func checkSymMulVec(dst []float64, c *Mat, x []float64) {
+	if c.Rows != c.Cols || len(dst) != c.Rows || len(x) != c.Cols {
+		panic("mat: SymMulVec dimension mismatch")
+	}
+}
+
+func syrkAddLower(dst, p *Mat, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		pi := p.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j <= i; j++ {
+			dr[j] += Dot(pi, p.Row(j))
+		}
+	}
+}
+
+func syr2kSubRange(dst, a, b *Mat, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		ai := a.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j <= i; j++ {
+			dr[j] -= Dot(ai, b.Row(j))
+		}
+	}
+	mirrorLowerRange(dst, r0, r1)
+}
+
+func syr2kPairSubRange(dst, a, b *Mat, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		ai, bi := a.Row(i), b.Row(i)
+		dr := dst.Row(i)
+		for j := 0; j < i; j++ {
+			dr[j] = dr[j] - Dot(ai, b.Row(j)) - Dot(bi, a.Row(j))
+		}
+		// Two sequential subtractions (not 2·d) so the diagonal rounds
+		// exactly like the full rectangular computation would.
+		d := Dot(ai, bi)
+		dr[i] = dr[i] - d - d
+	}
+	mirrorLowerRange(dst, r0, r1)
+}
+
+// mirrorTile is the block size of the tiled lower→upper copy. Mirroring
+// entry (i, j) to (j, i) is a transpose: done entry-at-a-time it costs one
+// scattered cache line per write and dominates large-n updates. Tiling by
+// blocks of source rows keeps both the strided reads and the row-segment
+// writes cache-resident.
+const mirrorTile = 64
+
+// mirrorLowerRange copies lower-triangle entries (i, j), j < i, i ∈ [r0, r1)
+// onto their upper-triangle mirrors (j, i). The written columns are exactly
+// [r0, r1), so disjoint row ranges mirror disjoint destinations — safe under
+// ForTri partitioning.
+func mirrorLowerRange(m *Mat, r0, r1 int) {
+	for ii := r0; ii < r1; ii += mirrorTile {
+		iMax := min(ii+mirrorTile, r1)
+		for j := 0; j < iMax-1; j++ {
+			row := m.Data[j*m.Stride:]
+			for i := max(ii, j+1); i < iMax; i++ {
+				row[i] = m.Data[i*m.Stride+j]
+			}
+		}
+	}
+}
+
+func symMulVecRange(dst []float64, c *Mat, x []float64, r0, r1 int) {
+	n := c.Rows
+	for i := r0; i < r1; i++ {
+		ci := c.Row(i)
+		s := Dot(ci[:i+1], x[:i+1])
+		for j := i + 1; j < n; j++ {
+			s += c.Data[j*c.Stride+i] * x[j]
+		}
+		dst[i] = s
+	}
+}

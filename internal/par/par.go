@@ -12,6 +12,7 @@ package par
 
 import (
 	"fmt"
+	"math"
 	"sync"
 )
 
@@ -81,6 +82,77 @@ func (t *Team) For(n int, body func(lo, hi int)) {
 	lo, hi := Chunk(n, p, 0)
 	body(lo, hi)
 	wg.Wait()
+}
+
+// ForTri partitions the row range [0, n) of an n×n lower triangle into
+// Size() contiguous chunks of nearly equal *area* and executes body(lo, hi)
+// for each chunk in parallel. Row i of the lower triangle holds i+1
+// elements, so the plain equal-row split of For gives the last worker about
+// twice the work of the first — exactly the load imbalance the paper's §4
+// static assignment is designed to avoid. Chunks that round to empty are
+// skipped.
+func (t *Team) ForTri(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := t.size
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for id := 1; id < p; id++ {
+		lo, hi := TriChunk(n, p, id)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	if lo, hi := TriChunk(n, p, 0); lo < hi {
+		body(lo, hi)
+	}
+	wg.Wait()
+}
+
+// TriChunk returns the half-open row range [lo, hi) of the id-th of p
+// contiguous chunks of the rows [0, n) of an n×n lower triangle, balanced by
+// triangle area rather than row count. The boundary after chunk k is the row
+// r whose prefix area r(r+1)/2 is closest to k/p of the total n(n+1)/2.
+func TriChunk(n, p, id int) (lo, hi int) {
+	return triBound(n, p, id), triBound(n, p, id+1)
+}
+
+// triBound inverts the prefix-area function r ↦ r(r+1)/2 at k/p of the total
+// triangle area. It is nondecreasing in k, so chunks are well ordered.
+func triBound(n, p, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	if k >= p {
+		return n
+	}
+	target := float64(n) * float64(n+1) / 2 * float64(k) / float64(p)
+	r := int(math.Floor((math.Sqrt(1+8*target) - 1) / 2))
+	if r < 0 {
+		r = 0
+	}
+	if r > n {
+		r = n
+	}
+	// The float inversion lands within one row of the optimum; pick the
+	// boundary whose exact prefix area is closest to the target.
+	area := func(r int) float64 { return float64(r) * float64(r+1) / 2 }
+	for r < n && math.Abs(area(r+1)-target) < math.Abs(area(r)-target) {
+		r++
+	}
+	return r
 }
 
 // Chunk returns the half-open range [lo, hi) of the id-th of p nearly equal

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTriChunkCoverage verifies that the triangular chunks tile [0, n)
+// exactly: contiguous, disjoint, in order.
+func TestTriChunkCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 97, 512} {
+		for _, p := range []int{1, 2, 3, 4, 7, 16, 64} {
+			prev := 0
+			for id := 0; id < p; id++ {
+				lo, hi := TriChunk(n, p, id)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d p=%d id=%d: chunk [%d,%d) after %d", n, p, id, lo, hi, prev)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d p=%d: chunks end at %d", n, p, prev)
+			}
+		}
+	}
+}
+
+// TestTriChunkBalance asserts the per-worker lower-triangle area stays
+// within 10% of the ideal n(n+1)/2p split — the equal-work property that
+// plain row chunking lacks (its last worker carries ~2× the area). Pairs
+// where a single row exceeds 10% of a chunk's area (n < 20p) are skipped:
+// no contiguous-row partition can do better than row granularity.
+func TestTriChunkBalance(t *testing.T) {
+	for _, n := range []int{64, 97, 256, 510, 2048} {
+		for _, p := range []int{2, 3, 4, 7, 8, 16} {
+			if n < 20*p {
+				continue
+			}
+			ideal := float64(n) * float64(n+1) / 2 / float64(p)
+			for id := 0; id < p; id++ {
+				lo, hi := TriChunk(n, p, id)
+				// Area of rows [lo, hi) of the lower triangle.
+				area := float64(hi)*float64(hi+1)/2 - float64(lo)*float64(lo+1)/2
+				if dev := area/ideal - 1; dev > 0.10 || dev < -0.10 {
+					t.Errorf("n=%d p=%d id=%d: area %.0f vs ideal %.0f (%.1f%% off)",
+						n, p, id, area, ideal, 100*dev)
+				}
+			}
+		}
+	}
+}
+
+// TestForTriCoversOnce runs ForTri and checks every row is visited exactly
+// once across workers.
+func TestForTriCoversOnce(t *testing.T) {
+	for _, n := range []int{1, 5, 33, 100} {
+		for _, p := range []int{1, 2, 4, 7, 150} {
+			var mu sync.Mutex
+			seen := make([]int, n)
+			NewTeam(p).ForTri(n, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d p=%d: row %d visited %d times", n, p, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForTriEmpty(t *testing.T) {
+	called := false
+	NewTeam(4).ForTri(0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}

@@ -164,6 +164,46 @@ func (m *Matrix) denseMulTRange(dst, c *mat.Mat, r0, r1 int) {
 	}
 }
 
+// DenseMulTSym computes dst ← C·Hᵀ for a *symmetric* square matrix C,
+// reading only the lower triangle of C: entry C[i][k] with k > i is taken
+// from C[k][i] instead. The upper triangle of C may hold garbage, which is
+// what lets the covariance hot path maintain (or trust) only one triangle.
+// Flop count is identical to DenseMulT; only the access pattern differs.
+func (m *Matrix) DenseMulTSym(dst, c *mat.Mat) {
+	m.denseMulTSymRange(dst, c, 0, c.Rows)
+}
+
+// DenseMulTSymPar is DenseMulTSym with the rows of C partitioned across the
+// team.
+func (m *Matrix) DenseMulTSymPar(t *par.Team, dst, c *mat.Mat) {
+	t.For(c.Rows, func(lo, hi int) { m.denseMulTSymRange(dst, c, lo, hi) })
+}
+
+func (m *Matrix) denseMulTSymRange(dst, c *mat.Mat, r0, r1 int) {
+	if c.Rows != c.Cols {
+		panic("sparse: DenseMulTSym on non-square matrix")
+	}
+	if dst.Rows != c.Rows || dst.Cols != m.rows || c.Cols != m.cols {
+		panic("sparse: DenseMulTSym dimension mismatch")
+	}
+	for i := r0; i < r1; i++ {
+		ci := c.Row(i)
+		di := dst.Row(i)
+		for j := 0; j < m.rows; j++ {
+			cols, vals := m.Row(j)
+			s := 0.0
+			for k, cc := range cols {
+				if cc <= i {
+					s += vals[k] * ci[cc]
+				} else {
+					s += vals[k] * c.Data[cc*c.Stride+i]
+				}
+			}
+			di[j] = s
+		}
+	}
+}
+
 // MulDense computes dst ← H·A where A is dense n×p; dst must be m×p. This is
 // the second "d-s" product (forming H·(C·Hᵀ)). Work is proportional to
 // nnz·p.

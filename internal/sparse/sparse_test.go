@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -210,5 +211,42 @@ func BenchmarkDenseMulT(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.DenseMulT(dst, c)
+	}
+}
+
+// TestDenseMulTSymMatchesDense builds a symmetric C, poisons its strict
+// upper triangle with NaN, and checks the symmetric product path never
+// reads it and reproduces the full-read product bitwise.
+func TestDenseMulTSymMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(80)
+		m := 1 + rng.Intn(24)
+		h := randSparse(rng, m, n, 1+rng.Intn(6))
+		c := randDense(rng, n, n)
+		mat.MirrorLower(c) // exactly symmetric
+		want := mat.New(n, m)
+		h.DenseMulT(want, c)
+
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				c.Set(i, j, math.NaN())
+			}
+		}
+		got := mat.New(n, m)
+		h.DenseMulTSym(got, c)
+		team := par.NewTeam(1 + trial%4)
+		gotPar := mat.New(n, m)
+		h.DenseMulTSymPar(team, gotPar, c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < m; j++ {
+				if math.IsNaN(got.At(i, j)) || math.IsNaN(gotPar.At(i, j)) {
+					t.Fatal("symmetric path read the poisoned upper triangle")
+				}
+				if got.At(i, j) != want.At(i, j) || gotPar.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d m=%d: (%d,%d) sym %g want %g", n, m, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
 	}
 }

@@ -210,10 +210,12 @@ type FlopModel struct{}
 
 // PerScalar returns relative work per scalar constraint: the O(n²) dense
 // update dominates, with the O(m·n) gain solve and O(m²) factorization
-// terms following the §2 complexity analysis.
+// terms following the §2 complexity analysis. The n² coefficient reflects
+// the symmetry-aware covariance kernel (lower triangle only: n²m flops per
+// batch of m, i.e. n² per scalar, down from the full product's 2n²).
 func (FlopModel) PerScalar(n, m int) float64 {
 	fn, fm := float64(n), float64(m)
-	return 2*fn*fn + 2*fn*fm + 14*fn + fm*fm/3
+	return fn*fn + 2*fn*fm + 14*fn + fm*fm/3
 }
 
 // NodeWork returns relative work for scalars constraints at dimension n.
