@@ -6,10 +6,17 @@
 //
 //	msesolve -in helix16.json -mode hier -procs 4
 //	msesolve -in ribo.json -conform -v
+//
+// A converged posterior can be saved and later used to warm-start a
+// re-solve of the same molecule (typically with additional constraints):
+//
+//	msesolve -in helix16.json -save-posterior helix16.post.json
+//	msesolve -in helix16_more_data.json -resume helix16.post.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +51,8 @@ func main() {
 		verbose = flag.Bool("v", false, "print the per-operation-class time distribution and tree")
 		pdbOut  = flag.String("pdb", "", "write the solved structure (PDB format, σ in the B-factor column)")
 		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		saveOut = flag.String("save-posterior", "", "write the converged posterior (JSON) for later -resume")
+		resume  = flag.String("resume", "", "warm-start from a posterior saved with -save-posterior (overrides -perturb/-conform/-init)")
 	)
 	flag.Parse()
 	// Reject bad flag values with a usage message instead of proceeding
@@ -103,8 +112,26 @@ func main() {
 		fmt.Print(est.Root().Dump())
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var post *core.Posterior
+	if *resume != "" {
+		post, err = readPosterior(*resume, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resuming from posterior %s\n", *resume)
+	}
+
 	var init []geom.Vec3
 	switch {
+	case post != nil:
+		// Warm start: positions and covariance both come from the posterior.
 	case *initPDB != "":
 		f, err := os.Open(*initPDB)
 		if err != nil {
@@ -126,14 +153,13 @@ func main() {
 		init = molecule.Perturbed(p, *perturb, *seed)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	start := time.Now()
-	sol, err := est.SolveContext(ctx, init)
+	var sol *core.Solution
+	if post != nil {
+		sol, err = est.SolveFrom(ctx, post)
+	} else {
+		sol, err = est.SolveContext(ctx, init)
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			fatal(fmt.Errorf("solve did not finish within -timeout %v", *timeout))
@@ -184,6 +210,56 @@ func main() {
 		}
 		fmt.Println("wrote", *pdbOut)
 	}
+
+	if *saveOut != "" {
+		if err := writePosterior(*saveOut, p, sol); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *saveOut)
+	}
+}
+
+// writePosterior saves the solution's posterior (with the full covariance)
+// in the same wire form the daemon serves, for a later -resume.
+func writePosterior(path string, p *molecule.Problem, sol *core.Solution) error {
+	post := sol.Posterior()
+	doc := encode.NewPosteriorDoc(post.Positions, post.CoordVariances, post.Cov)
+	doc.Problem = p.Name
+	doc.TopologyHash = encode.TopologyHash(p)
+	doc.StructureHash = encode.StructureHash(p)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readPosterior loads a saved posterior and checks it belongs to the same
+// molecule as the problem being solved: the structure hash must match when
+// the document carries one (constraints may differ freely).
+func readPosterior(path string, p *molecule.Problem) (*core.Posterior, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc encode.PosteriorDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.StructureHash != "" && doc.StructureHash != encode.StructureHash(p) {
+		return nil, fmt.Errorf("%s was solved for a different molecule than %s (structure hash mismatch)", path, p.Name)
+	}
+	pos, coordVar, cov, err := doc.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &core.Posterior{Positions: pos, CoordVariances: coordVar, Cov: cov}, nil
 }
 
 func fatal(err error) {

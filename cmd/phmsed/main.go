@@ -43,6 +43,7 @@ func main() {
 		procs        = flag.Int("procs", 0, "processor team size per solve (default GOMAXPROCS/workers)")
 		queue        = flag.Int("queue", 32, "bounded job-queue depth (full queue rejects with 429)")
 		cacheSize    = flag.Int("plan-cache", 64, "plan cache entries (negative disables)")
+		postMB       = flag.Int64("posterior-mb", 256, "posterior store budget in MiB for warm starts (<= 0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -57,11 +58,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	posteriorBytes := *postMB << 20
+	if *postMB <= 0 {
+		posteriorBytes = -1
+	}
 	srv := server.New(server.Config{
-		Workers:     *workers,
-		ProcsPerJob: *procs,
-		QueueDepth:  *queue,
-		CacheSize:   *cacheSize,
+		Workers:        *workers,
+		ProcsPerJob:    *procs,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		PosteriorBytes: posteriorBytes,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

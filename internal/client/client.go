@@ -1,0 +1,304 @@
+// Package client is the typed Go client of the phmsed v1 API. It wraps
+// the HTTP endpoints in context-aware methods over the wire types of
+// package encode and maps the structured error envelope onto *APIError
+// values, so callers branch on error codes instead of parsing strings:
+//
+//	c := client.New("http://localhost:8080")
+//	st, err := c.Submit(ctx, problem, encode.SolveParams{KeepPosterior: true})
+//	if client.HasCode(err, encode.CodeQueueFull) { backoff() }
+//	st, err = c.Wait(ctx, st.ID, 0, encode.JobDone, encode.JobFailed)
+//	sol, err := c.Result(ctx, st.ID)
+//	st2, err := c.WarmStart(ctx, refined, encode.SolveParams{}, st.ID)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"phmse/internal/encode"
+	"phmse/internal/molecule"
+)
+
+// Client talks to one phmsed instance. The zero value is not usable;
+// create with New. A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, instrumentation).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a client for the server at base (e.g. "http://host:8080"; a
+// trailing slash is tolerated).
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the v1 error envelope.
+type APIError struct {
+	// HTTPStatus is the response status code.
+	HTTPStatus int
+	// Code is one of the encode.Code* envelope codes ("internal" when the
+	// body was not a well-formed envelope).
+	Code    string
+	Message string
+	// State is the job lifecycle state the envelope carried, if any.
+	State encode.JobState
+	// RetryAfter is the parsed Retry-After delay (zero when absent), set
+	// on queue_full rejections.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	msg := fmt.Sprintf("phmsed: %s (http %d): %s", e.Code, e.HTTPStatus, e.Message)
+	if e.State != "" {
+		msg += fmt.Sprintf(" (state %s)", e.State)
+	}
+	return msg
+}
+
+// Code returns err's envelope code when err is (or wraps) an *APIError,
+// and "" otherwise.
+func Code(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
+// HasCode reports whether err is an *APIError with the given envelope code.
+func HasCode(err error, code string) bool { return Code(err) == code }
+
+// IsNotFound reports whether err is the API's not_found error.
+func IsNotFound(err error) bool { return HasCode(err, encode.CodeNotFound) }
+
+// IsQueueFull reports whether err is the API's queue_full backpressure error.
+func IsQueueFull(err error) bool { return HasCode(err, encode.CodeQueueFull) }
+
+// IsTopologyMismatch reports whether err is the API's topology_mismatch
+// warm-start rejection.
+func IsTopologyMismatch(err error) bool { return HasCode(err, encode.CodeTopologyMismatch) }
+
+// do issues one request and decodes a 2xx JSON body into out (skipped when
+// out is nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError maps a non-2xx response onto *APIError, tolerating bodies
+// that are not well-formed envelopes (proxies, panics).
+func decodeError(resp *http.Response) error {
+	ae := &APIError{HTTPStatus: resp.StatusCode, Code: encode.CodeInternal}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env encode.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+		ae.State = env.Error.State
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}
+
+// submitBody assembles a solve request body.
+func submitBody(p *molecule.Problem, params encode.SolveParams, warm *encode.WarmStartRef) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encode.WriteProblem(&buf, p); err != nil {
+		return nil, fmt.Errorf("client: encoding problem: %w", err)
+	}
+	return json.Marshal(encode.SolveRequest{
+		Problem:   json.RawMessage(buf.Bytes()),
+		Params:    params,
+		WarmStart: warm,
+	})
+}
+
+// Submit posts a problem for asynchronous solving and returns the accepted
+// job's status snapshot.
+func (c *Client) Submit(ctx context.Context, p *molecule.Problem, params encode.SolveParams) (encode.JobStatus, error) {
+	return c.submit(ctx, p, params, nil)
+}
+
+// WarmStart posts a problem that continues from the retained posterior of
+// a prior job (see SolveParams.KeepPosterior). The problem must be over
+// the same molecule as the referenced posterior; the server rejects a
+// mismatch with the topology_mismatch code.
+func (c *Client) WarmStart(ctx context.Context, p *molecule.Problem, params encode.SolveParams, fromJob string) (encode.JobStatus, error) {
+	return c.submit(ctx, p, params, &encode.WarmStartRef{Job: fromJob})
+}
+
+func (c *Client) submit(ctx context.Context, p *molecule.Problem, params encode.SolveParams, warm *encode.WarmStartRef) (encode.JobStatus, error) {
+	body, err := submitBody(p, params, warm)
+	if err != nil {
+		return encode.JobStatus{}, err
+	}
+	var st encode.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", body, &st); err != nil {
+		return encode.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Status returns the job's current status snapshot.
+func (c *Client) Status(ctx context.Context, id string) (encode.JobStatus, error) {
+	var st encode.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st); err != nil {
+		return encode.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Wait polls Status every poll interval (default 5 ms) until the job
+// reaches one of the wanted states (default: any terminal state) or ctx
+// ends, and returns the matching snapshot.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, states ...encode.JobState) (encode.JobStatus, error) {
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return encode.JobStatus{}, err
+		}
+		if len(states) == 0 {
+			if st.State.Terminal() {
+				return st, nil
+			}
+		} else {
+			for _, want := range states {
+				if st.State == want {
+					return st, nil
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("client: waiting for job %s (last state %s): %w", id, st.State, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// Result fetches the solution of a done job.
+func (c *Client) Result(ctx context.Context, id string) (encode.SolutionDoc, error) {
+	var doc encode.SolutionDoc
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/result", nil, &doc); err != nil {
+		return encode.SolutionDoc{}, err
+	}
+	return doc, nil
+}
+
+// Posterior fetches a job's retained posterior. With full=true the
+// response carries the full covariance matrix (8·(3n)² bytes on the
+// wire); otherwise only the per-coordinate diagonal.
+func (c *Client) Posterior(ctx context.Context, id string, full bool) (encode.PosteriorDoc, error) {
+	path := "/v1/jobs/" + url.PathEscape(id) + "/posterior"
+	if full {
+		path += "?cov=full"
+	}
+	var doc encode.PosteriorDoc
+	if err := c.do(ctx, http.MethodGet, path, nil, &doc); err != nil {
+		return encode.PosteriorDoc{}, err
+	}
+	return doc, nil
+}
+
+// Cancel cancels a queued or running job and returns its status snapshot.
+func (c *Client) Cancel(ctx context.Context, id string) (encode.JobStatus, error) {
+	var st encode.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st); err != nil {
+		return encode.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// ListOptions filter and paginate the job listing.
+type ListOptions struct {
+	// State restricts the listing to one lifecycle state ("" = all).
+	State encode.JobState
+	// Limit caps the page size (0 = server default of 50).
+	Limit int
+	// After resumes a listing strictly after this job id (the NextAfter
+	// cursor of the previous page).
+	After string
+}
+
+// List returns submission-ordered job status summaries. The server prunes
+// old terminal records beyond its retention bound, so the listing is a
+// window over recent jobs.
+func (c *Client) List(ctx context.Context, opts ListOptions) (encode.JobList, error) {
+	q := url.Values{}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.After != "" {
+		q.Set("after", opts.After)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list encode.JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &list); err != nil {
+		return encode.JobList{}, err
+	}
+	return list, nil
+}

@@ -295,9 +295,9 @@ func (e *Estimator) SolveContext(ctx context.Context, init []geom.Vec3) (*Soluti
 		return nil, fmt.Errorf("core: init has %d atoms, problem has %d", len(init), len(e.problem.Atoms))
 	}
 	if e.cfg.Mode == Flat {
-		return e.solveFlat(ctx, init)
+		return e.solveFlat(ctx, init, nil)
 	}
-	return e.solveHier(ctx, init)
+	return e.solveHier(ctx, init, nil)
 }
 
 // Replan computes a fresh static processor assignment for the estimator's
@@ -310,8 +310,28 @@ func Replan(e *Estimator, procs int) *hier.ExecPlan {
 	return sched.Assign(e.root, procs, work)
 }
 
-func (e *Estimator) solveFlat(ctx context.Context, init []geom.Vec3) (*Solution, error) {
+// solveFlat runs the flat organization. A non-nil post warm-starts the
+// solve: the state's first-cycle covariance is the posterior's (full when
+// available, diagonal otherwise) instead of the isotropic prior.
+func (e *Estimator) solveFlat(ctx context.Context, init []geom.Vec3, post *Posterior) (*Solution, error) {
 	s := filter.NewState(init, e.cfg.InitVar)
+	warm := false
+	if post != nil {
+		switch {
+		case post.Cov != nil:
+			s.C.CopyFrom(post.Cov)
+			warm = true
+		case post.CoordVariances != nil:
+			s.C.Zero()
+			for d, v := range post.CoordVariances {
+				if v < minWarmVar {
+					v = minWarmVar
+				}
+				s.C.Set(d, d, v)
+			}
+			warm = true
+		}
+	}
 	res, err := filter.Solve(s, e.problem.Constraints, filter.SolveOptions{
 		BatchSize: e.cfg.BatchSize,
 		MaxCycles: e.cfg.MaxCycles,
@@ -322,6 +342,7 @@ func (e *Estimator) solveFlat(ctx context.Context, init []geom.Vec3) (*Solution,
 		MaxStep:   e.cfg.MaxStep,
 		Joseph:    e.cfg.Joseph,
 		GateSigma: e.cfg.GateSigma,
+		Warm:      warm,
 		Ctx:       ctx,
 		OnCycle:   e.cfg.OnCycle,
 	})
@@ -354,7 +375,11 @@ func atomNames(p *molecule.Problem) []string {
 	return names
 }
 
-func (e *Estimator) solveHier(ctx context.Context, init []geom.Vec3) (*Solution, error) {
+// solveHier runs the hierarchical organization. Non-nil warmVars (one
+// variance per coordinate, global atom order) warm-start the leaf
+// assembly from a prior posterior's diagonal, carried forward pass to
+// pass as a sequential continuation (see hier.Options.WarmVars).
+func (e *Estimator) solveHier(ctx context.Context, init []geom.Vec3, warmVars []float64) (*Solution, error) {
 	state, res, err := hier.Solve(e.root, init, hier.Options{
 		BatchSize: e.cfg.BatchSize,
 		MaxCycles: e.cfg.MaxCycles,
@@ -366,6 +391,7 @@ func (e *Estimator) solveHier(ctx context.Context, init []geom.Vec3) (*Solution,
 		MaxStep:   e.cfg.MaxStep,
 		Joseph:    e.cfg.Joseph,
 		GateSigma: e.cfg.GateSigma,
+		WarmVars:  warmVars,
 		Ctx:       ctx,
 		OnCycle:   e.cfg.OnCycle,
 	})

@@ -10,8 +10,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"phmse/internal/geom"
+	"phmse/internal/mat"
 	"phmse/internal/molecule"
 )
 
@@ -40,39 +42,59 @@ type SolveParams struct {
 	// TimeoutMillis, when positive, bounds the solve's wall-clock time; an
 	// expired job fails with a deadline error.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// KeepPosterior asks the server to retain the job's posterior
+	// (positions + covariance) in its bounded posterior store on
+	// completion, so later submissions can warm-start from it.
+	KeepPosterior bool `json:"keep_posterior,omitempty"`
+}
+
+// WarmStartRef names a prior job whose retained posterior should seed the
+// solve instead of the perturbed-prior initialisation.
+type WarmStartRef struct {
+	Job string `json:"job"`
 }
 
 // SolveRequest is the JSON body of POST /v1/solve: a problem document in
-// the interchange format plus solver parameters.
+// the interchange format plus solver parameters and an optional warm-start
+// reference.
 type SolveRequest struct {
 	Problem json.RawMessage `json:"problem"`
 	Params  SolveParams     `json:"params,omitempty"`
+	// WarmStart, when present, starts the solve from the referenced job's
+	// retained posterior. The referenced posterior must belong to the same
+	// molecule (equal StructureHash); a mismatch is rejected with the
+	// topology_mismatch error code.
+	WarmStart *WarmStartRef `json:"warm_start,omitempty"`
 }
 
 // ReadSolveRequest parses and validates a solve request, returning the
-// decoded problem and parameters.
-func ReadSolveRequest(r io.Reader) (*molecule.Problem, SolveParams, error) {
+// decoded problem, the solver parameters, and the warm-start reference
+// (nil when the submission is cold).
+func ReadSolveRequest(r io.Reader) (*molecule.Problem, SolveParams, *WarmStartRef, error) {
 	var req SolveRequest
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&req); err != nil {
-		return nil, SolveParams{}, fmt.Errorf("encode: request: %w", err)
+		return nil, SolveParams{}, nil, fmt.Errorf("encode: request: %w", err)
 	}
 	if len(req.Problem) == 0 {
-		return nil, SolveParams{}, fmt.Errorf("encode: request has no problem document")
+		return nil, SolveParams{}, nil, fmt.Errorf("encode: request has no problem document")
 	}
 	p, err := ReadProblemBytes(req.Problem)
 	if err != nil {
-		return nil, SolveParams{}, err
+		return nil, SolveParams{}, nil, err
 	}
 	if len(p.Atoms) == 0 {
-		return nil, SolveParams{}, fmt.Errorf("encode: problem has no atoms")
+		return nil, SolveParams{}, nil, fmt.Errorf("encode: problem has no atoms")
 	}
 	switch req.Params.Mode {
 	case "", "hier", "flat":
 	default:
-		return nil, SolveParams{}, fmt.Errorf("encode: unknown mode %q (want \"flat\" or \"hier\")", req.Params.Mode)
+		return nil, SolveParams{}, nil, fmt.Errorf("encode: unknown mode %q (want \"flat\" or \"hier\")", req.Params.Mode)
 	}
-	return p, req.Params, nil
+	if req.WarmStart != nil && req.WarmStart.Job == "" {
+		return nil, SolveParams{}, nil, fmt.Errorf("encode: warm_start reference has no job id")
+	}
+	return p, req.Params, req.WarmStart, nil
 }
 
 // SolutionDoc is the wire form of a solved structure estimate.
@@ -85,6 +107,92 @@ type SolutionDoc struct {
 	Positions [][3]float64 `json:"positions"`
 	// Variances holds each atom's summed coordinate variance (Å²).
 	Variances []float64 `json:"variances"`
+}
+
+// PosteriorDoc is the wire form of a retained posterior estimate: the
+// warm-start currency of the v1 API, served by GET /v1/jobs/{id}/posterior
+// and written to disk by msesolve -save-posterior. Positions and variances
+// are in problem atom order.
+type PosteriorDoc struct {
+	// Job is the id of the job that produced the posterior (empty for
+	// posteriors saved by the command-line tools).
+	Job     string `json:"job,omitempty"`
+	Problem string `json:"problem,omitempty"`
+	// TopologyHash identifies the full problem topology the posterior was
+	// solved under; StructureHash identifies just the molecule (atoms +
+	// grouping), the compatibility key for warm starts.
+	TopologyHash  string `json:"topology_hash,omitempty"`
+	StructureHash string `json:"structure_hash,omitempty"`
+	Atoms         int    `json:"atoms"`
+	// Positions is the posterior mean, one [x y z] per atom (Å).
+	Positions [][3]float64 `json:"positions"`
+	// CoordVariances is the posterior covariance diagonal: one variance
+	// (Å²) per coordinate, 3 per atom, laid out (x₀,y₀,z₀,x₁,…).
+	CoordVariances []float64 `json:"coord_variances"`
+	// Cov is the full posterior covariance (3n×3n, row-major rows), present
+	// only when the full matrix was requested (?cov=full, or a disk save).
+	// Flat-mode warm starts use it when available; hierarchical warm starts
+	// use only the diagonal.
+	Cov [][]float64 `json:"cov,omitempty"`
+}
+
+// NewPosteriorDoc assembles the wire form of a posterior. cov may be nil;
+// when given it must be a square matrix of side 3·len(pos).
+func NewPosteriorDoc(pos []geom.Vec3, coordVar []float64, cov *mat.Mat) PosteriorDoc {
+	doc := PosteriorDoc{
+		Atoms:          len(pos),
+		Positions:      make([][3]float64, len(pos)),
+		CoordVariances: append([]float64(nil), coordVar...),
+	}
+	for i, p := range pos {
+		doc.Positions[i] = p
+	}
+	if cov != nil {
+		doc.Cov = make([][]float64, cov.Rows)
+		for i := range doc.Cov {
+			doc.Cov[i] = append([]float64(nil), cov.Row(i)...)
+		}
+	}
+	return doc
+}
+
+// Decode validates the document and returns its pieces in solver form:
+// positions, the per-coordinate variance diagonal, and the full covariance
+// (nil when the document carries only the diagonal).
+func (d *PosteriorDoc) Decode() (pos []geom.Vec3, coordVar []float64, cov *mat.Mat, err error) {
+	n := len(d.Positions)
+	if n == 0 {
+		return nil, nil, nil, fmt.Errorf("encode: posterior has no positions")
+	}
+	if d.Atoms != 0 && d.Atoms != n {
+		return nil, nil, nil, fmt.Errorf("encode: posterior declares %d atoms but carries %d positions", d.Atoms, n)
+	}
+	if len(d.CoordVariances) != 3*n {
+		return nil, nil, nil, fmt.Errorf("encode: posterior has %d coordinate variances, want %d", len(d.CoordVariances), 3*n)
+	}
+	for i, v := range d.CoordVariances {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, nil, fmt.Errorf("encode: posterior coordinate variance %d is %g", i, v)
+		}
+	}
+	pos = make([]geom.Vec3, n)
+	for i, p := range d.Positions {
+		pos[i] = p
+	}
+	coordVar = append([]float64(nil), d.CoordVariances...)
+	if d.Cov != nil {
+		if len(d.Cov) != 3*n {
+			return nil, nil, nil, fmt.Errorf("encode: posterior covariance has %d rows, want %d", len(d.Cov), 3*n)
+		}
+		cov = mat.New(3*n, 3*n)
+		for i, row := range d.Cov {
+			if len(row) != 3*n {
+				return nil, nil, nil, fmt.Errorf("encode: posterior covariance row %d has %d entries, want %d", i, len(row), 3*n)
+			}
+			copy(cov.Row(i), row)
+		}
+	}
+	return pos, coordVar, cov, nil
 }
 
 // NewSolutionDoc assembles the wire form from solver outputs.

@@ -64,10 +64,15 @@ func FuzzReadSolveRequest(f *testing.F) {
 	}
 	f.Add([]byte(`{"problem":{"atoms":[{"pos":[0,0,0]}]},"params":{"mode":"flat","timeout_ms":100}}`))
 	f.Add([]byte(`{"problem":{"atoms":[{"pos":[0,0,0]}]},"params":{"mode":"sideways"}}`))
+	f.Add([]byte(`{"problem":{"atoms":[{"pos":[0,0,0]}]},"warm_start":{"job":"job-000001"}}`))
+	f.Add([]byte(`{"problem":{"atoms":[{"pos":[0,0,0]}]},"warm_start":{}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		p, params, err := ReadSolveRequest(bytes.NewReader(data)) // must not panic
+		p, params, warm, err := ReadSolveRequest(bytes.NewReader(data)) // must not panic
 		if err != nil {
 			return
+		}
+		if warm != nil && warm.Job == "" {
+			t.Fatal("accepted warm_start reference without a job id")
 		}
 		if p == nil || len(p.Atoms) == 0 {
 			t.Fatal("accepted request without a usable problem")

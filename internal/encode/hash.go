@@ -39,6 +39,22 @@ func TopologyHash(p *molecule.Problem) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// StructureHash returns a content hash of the problem's molecule alone:
+// the atom count and the hierarchical grouping, deliberately excluding the
+// constraint set. A stored posterior (positions + covariance per atom) is
+// reusable by any problem over the same molecule — warm-start re-solves
+// add, drop, or re-measure constraints without invalidating it — so this
+// is the key under which posterior compatibility is checked. Two problems
+// with different StructureHash values index different atoms and must not
+// exchange posteriors.
+func StructureHash(p *molecule.Problem) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "atoms:%d\n", len(p.Atoms))
+	io.WriteString(h, "tree:")
+	hashTree(h, p.Tree)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // topoRecord renders the topology-relevant part of one constraint: its
 // type tag and the atom indices it couples.
 func topoRecord(c constraint.Constraint) string {

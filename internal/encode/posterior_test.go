@@ -1,0 +1,108 @@
+package encode
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"phmse/internal/geom"
+	"phmse/internal/mat"
+)
+
+func samplePosterior() ([]geom.Vec3, []float64, *mat.Mat) {
+	pos := []geom.Vec3{{0, 0, 0}, {1.5, 0, 0}, {1.5, 1.5, 0}}
+	coordVar := make([]float64, 9)
+	cov := mat.New(9, 9)
+	for i := 0; i < 9; i++ {
+		coordVar[i] = 0.01 * float64(i+1)
+		cov.Set(i, i, coordVar[i])
+		for j := 0; j < i; j++ {
+			v := 0.001 * float64(i+j)
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return pos, coordVar, cov
+}
+
+// The posterior wire form must survive a JSON round trip bit-for-bit:
+// it is both the /posterior response and msesolve's on-disk resume format.
+func TestPosteriorDocRoundTrip(t *testing.T) {
+	pos, coordVar, cov := samplePosterior()
+	doc := NewPosteriorDoc(pos, coordVar, cov)
+	doc.Job = "job-000007"
+	doc.TopologyHash = "aaaa"
+	doc.StructureHash = "bbbb"
+
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(doc); err != nil {
+		t.Fatal(err)
+	}
+	var back PosteriorDoc
+	if err := json.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Job != doc.Job || back.StructureHash != doc.StructureHash || back.Atoms != len(pos) {
+		t.Fatalf("identity fields: %+v", back)
+	}
+
+	gotPos, gotVar, gotCov, err := back.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pos {
+		if gotPos[i] != pos[i] {
+			t.Fatalf("position %d: %v != %v", i, gotPos[i], pos[i])
+		}
+	}
+	for i := range coordVar {
+		if gotVar[i] != coordVar[i] {
+			t.Fatalf("variance %d: %g != %g", i, gotVar[i], coordVar[i])
+		}
+	}
+	if gotCov == nil {
+		t.Fatal("covariance lost in round trip")
+	}
+	for i := 0; i < cov.Rows; i++ {
+		for j := 0; j < cov.Cols; j++ {
+			if gotCov.At(i, j) != cov.At(i, j) {
+				t.Fatalf("covariance (%d,%d): %g != %g", i, j, gotCov.At(i, j), cov.At(i, j))
+			}
+		}
+	}
+
+	// Diagonal-only documents decode with a nil covariance.
+	slim := NewPosteriorDoc(pos, coordVar, nil)
+	_, _, slimCov, err := slim.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slimCov != nil {
+		t.Fatal("diagonal-only document produced a covariance matrix")
+	}
+}
+
+func TestPosteriorDocDecodeRejects(t *testing.T) {
+	pos, coordVar, cov := samplePosterior()
+	cases := []struct {
+		name   string
+		mutate func(*PosteriorDoc)
+	}{
+		{"no positions", func(d *PosteriorDoc) { d.Positions = nil }},
+		{"atom count mismatch", func(d *PosteriorDoc) { d.Atoms = 7 }},
+		{"short variances", func(d *PosteriorDoc) { d.CoordVariances = d.CoordVariances[:4] }},
+		{"negative variance", func(d *PosteriorDoc) { d.CoordVariances[2] = -1 }},
+		{"nan variance", func(d *PosteriorDoc) { d.CoordVariances[0] = math.NaN() }},
+		{"inf variance", func(d *PosteriorDoc) { d.CoordVariances[0] = math.Inf(1) }},
+		{"short cov", func(d *PosteriorDoc) { d.Cov = d.Cov[:3] }},
+		{"ragged cov row", func(d *PosteriorDoc) { d.Cov[4] = d.Cov[4][:2] }},
+	}
+	for _, tc := range cases {
+		doc := NewPosteriorDoc(pos, coordVar, cov)
+		tc.mutate(&doc)
+		if _, _, _, err := doc.Decode(); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}

@@ -40,6 +40,17 @@ type SolveOptions struct {
 	// GateSigma, when positive, enables innovation gating of outlier
 	// observations (see Updater.GateSigma).
 	GateSigma float64
+	// Warm, when true, treats the supplied state as a prior posterior
+	// (x, C) from an earlier solve and continues the assimilation from it:
+	// the covariance is never re-initialised — the first cycle keeps the
+	// state's covariance as given and every later cycle carries the
+	// evolving posterior forward, so new measurements always update from
+	// the existing uncertainty rather than from a diffuse prior (the
+	// sequential Kalman-updating pattern). Re-introducing the diffuse
+	// reset mid-solve would kick a near-converged state back onto the cold
+	// iteration's slow transient; continuation keeps the steps shrinking
+	// monotonically instead.
+	Warm bool
 	// Ctx, when non-nil, is checked between cycles: a cancelled or expired
 	// context stops the iteration and Solve returns the context's error
 	// together with the progress made so far.
@@ -111,7 +122,9 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 				return res, err
 			}
 		}
-		s.ResetCovariance(opt.InitVar)
+		if !opt.Warm {
+			s.ResetCovariance(opt.InitVar)
+		}
 		if _, err := u.ApplyAll(s, batches); err != nil {
 			return res, err
 		}

@@ -31,6 +31,19 @@ type Options struct {
 	// GateSigma, when positive, enables innovation gating of outlier
 	// observations (see filter.Updater.GateSigma).
 	GateSigma float64
+	// WarmVars, when non-nil, holds per-coordinate prior variances indexed
+	// 3·atom+coord in global atom order, injected in place of InitVar when
+	// leaf and direct-atom states are assembled — the hierarchical form of
+	// warm-starting from a prior posterior. The hierarchy rebuilds
+	// cross-node covariance from its own constraints each pass, so only
+	// the posterior's diagonal survives injection; cross-atom terms are
+	// discarded. A warm solve never reverts to the diffuse InitVar: after
+	// each pass the root posterior's diagonal becomes the next pass's
+	// injected priors, the hierarchical analogue of flat-mode sequential
+	// Kalman continuation. Re-introducing the diffuse reset mid-solve
+	// would kick a near-converged state back onto the cold iteration's
+	// slow transient.
+	WarmVars []float64
 	// Ctx, when non-nil, is checked between cycles: a cancelled or expired
 	// context stops the iteration and Solve returns the context's error
 	// together with the state and progress so far.
@@ -82,7 +95,16 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 	if err := opt.Plan.Validate(root, opt.Team.Size()); err != nil {
 		return nil, Result{}, err
 	}
+	if opt.WarmVars != nil && len(opt.WarmVars) != 3*len(init) {
+		return nil, Result{}, fmt.Errorf("hier: warm variances have %d entries, want %d", len(opt.WarmVars), 3*len(init))
+	}
 	positions := append([]geom.Vec3(nil), init...)
+	warm := opt.WarmVars != nil
+	if warm {
+		// The per-cycle carry-forward below rewrites the slice; copy it so
+		// the caller's posterior is untouched.
+		opt.WarmVars = append([]float64(nil), opt.WarmVars...)
+	}
 	var state *filter.State
 	res := Result{}
 	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
@@ -107,6 +129,15 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 			positions[a] = p
 		}
 		res.RMSChange = rms(sum, 3*len(root.Atoms))
+		if warm {
+			// Sequential continuation: the pass posterior's diagonal
+			// becomes the next pass's injected priors.
+			for i, a := range root.Atoms {
+				for c := 0; c < 3; c++ {
+					opt.WarmVars[3*a+c] = state.C.At(3*i+c, 3*i+c)
+				}
+			}
+		}
 		if opt.OnCycle != nil {
 			opt.OnCycle(res.Cycles, res.RMSChange)
 		}
@@ -189,7 +220,7 @@ func updateNode(n *Node, positions []geom.Vec3, opt Options, team *par.Team) (*f
 		}
 	}
 
-	s := assemble(n, childStates, positions, opt.InitVar)
+	s := assemble(n, childStates, positions, opt)
 	u := &filter.Updater{Team: team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma}
 	if _, err := u.ApplyAll(s, n.batches); err != nil {
 		return nil, fmt.Errorf("node %q: %w", n.Name, err)
@@ -200,8 +231,9 @@ func updateNode(n *Node, positions []geom.Vec3, opt Options, team *par.Team) (*f
 // assemble builds the node's prior state: children posteriors as
 // uncorrelated diagonal blocks (their mutual covariance is zero until the
 // node's own cross-boundary constraints fill it in), then the node's direct
-// atoms with fresh isotropic covariance.
-func assemble(n *Node, childStates []*filter.State, positions []geom.Vec3, initVar float64) *filter.State {
+// atoms with fresh isotropic covariance — or, under a warm start, the
+// injected per-coordinate posterior variances.
+func assemble(n *Node, childStates []*filter.State, positions []geom.Vec3, opt Options) *filter.State {
 	dim := n.StateDim()
 	s := &filter.State{X: make([]float64, dim), C: mat.New(dim, dim)}
 	off := 0
@@ -215,9 +247,27 @@ func assemble(n *Node, childStates []*filter.State, positions []geom.Vec3, initV
 		p := positions[a]
 		s.X[off], s.X[off+1], s.X[off+2] = p[0], p[1], p[2]
 		for c := 0; c < 3; c++ {
-			s.C.Set(off+c, off+c, initVar)
+			s.C.Set(off+c, off+c, opt.priorVar(a, c))
 		}
 		off += 3
 	}
 	return s
 }
+
+// priorVar returns the initial variance of one coordinate of a global atom:
+// the injected warm-start posterior variance when one is in effect, the
+// isotropic InitVar otherwise. Injected variances are floored at a small
+// positive value so a perfectly determined coordinate cannot produce a
+// singular prior.
+func (o Options) priorVar(atom, coord int) float64 {
+	if o.WarmVars != nil {
+		if v := o.WarmVars[3*atom+coord]; v > minWarmVar {
+			return v
+		}
+		return minWarmVar
+	}
+	return o.InitVar
+}
+
+// minWarmVar is the variance floor for injected warm-start priors (Å²).
+const minWarmVar = 1e-9

@@ -14,17 +14,19 @@ import (
 	"phmse/internal/trace"
 )
 
-// JobState is the lifecycle state of a submitted solve.
-type JobState string
+// JobState is the lifecycle state of a submitted solve. The wire form
+// lives in package encode so the typed client and the command-line tools
+// share it; the server aliases it for convenience.
+type JobState = encode.JobState
 
 // The job lifecycle: queued → running → one of the three terminal states.
 // A queued job can also move directly to cancelled.
 const (
-	StateQueued    JobState = "queued"
-	StateRunning   JobState = "running"
-	StateDone      JobState = "done"
-	StateFailed    JobState = "failed"
-	StateCancelled JobState = "cancelled"
+	StateQueued    = encode.JobQueued
+	StateRunning   = encode.JobRunning
+	StateDone      = encode.JobDone
+	StateFailed    = encode.JobFailed
+	StateCancelled = encode.JobCancelled
 )
 
 // Submission errors, distinguished so the HTTP layer can map them to 503
@@ -39,54 +41,44 @@ type job struct {
 	id      string
 	problem *molecule.Problem
 	params  encode.SolveParams
+	warm    *storedPosterior // non-nil for warm-started solves
 
-	mu        sync.Mutex
-	state     JobState
-	cycle     int
-	rmsChange float64
-	errMsg    string
-	cacheHit  bool
-	sol       *core.Solution
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	cancel    context.CancelFunc // set while running
-	done      chan struct{}      // closed on reaching a terminal state
+	mu            sync.Mutex
+	state         JobState
+	cycle         int
+	rmsChange     float64
+	errMsg        string
+	cacheHit      bool
+	posteriorKept bool
+	sol           *core.Solution
+	submitted     time.Time
+	started       time.Time
+	finished      time.Time
+	cancel        context.CancelFunc // set while running
+	done          chan struct{}      // closed on reaching a terminal state
 }
 
 // JobStatus is a point-in-time snapshot of a job, as reported by the API.
-type JobStatus struct {
-	ID    string   `json:"id"`
-	State JobState `json:"state"`
-	// Problem identification.
-	Problem     string `json:"problem"`
-	Atoms       int    `json:"atoms"`
-	Constraints int    `json:"constraints"`
-	// Cycle-level progress (meaningful once running).
-	Cycle     int     `json:"cycle"`
-	RMSChange float64 `json:"rms_change"`
-	// PlanCacheHit reports whether construction reused cached planning
-	// artifacts for this topology.
-	PlanCacheHit bool   `json:"plan_cache_hit"`
-	Error        string `json:"error,omitempty"`
-	SubmittedAt  string `json:"submitted_at,omitempty"`
-	StartedAt    string `json:"started_at,omitempty"`
-	FinishedAt   string `json:"finished_at,omitempty"`
-}
+// The wire form is encode.JobStatus.
+type JobStatus = encode.JobStatus
 
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:           j.id,
-		State:        j.state,
-		Problem:      j.problem.Name,
-		Atoms:        len(j.problem.Atoms),
-		Constraints:  len(j.problem.Constraints),
-		Cycle:        j.cycle,
-		RMSChange:    j.rmsChange,
-		PlanCacheHit: j.cacheHit,
-		Error:        j.errMsg,
+		ID:            j.id,
+		State:         j.state,
+		Problem:       j.problem.Name,
+		Atoms:         len(j.problem.Atoms),
+		Constraints:   len(j.problem.Constraints),
+		Cycle:         j.cycle,
+		RMSChange:     j.rmsChange,
+		PlanCacheHit:  j.cacheHit,
+		PosteriorKept: j.posteriorKept,
+		Error:         j.errMsg,
+	}
+	if j.warm != nil {
+		st.WarmStartFrom = j.warm.jobID
 	}
 	stamp := func(t time.Time) string {
 		if t.IsZero() {
@@ -127,11 +119,13 @@ func (j *job) finish(state JobState, errMsg string, sol *core.Solution) {
 	j.mu.Unlock()
 }
 
-// manager owns the bounded job queue, the worker pool, and the job records.
+// manager owns the bounded job queue, the worker pool, the job records,
+// and the posterior store.
 type manager struct {
-	cfg   Config
-	cache *planCache
-	rec   *trace.Collector
+	cfg        Config
+	cache      *planCache
+	posteriors *posteriorStore
+	rec        *trace.Collector
 
 	mu       sync.Mutex
 	draining bool
@@ -148,11 +142,12 @@ type manager struct {
 
 func newManager(cfg Config) *manager {
 	m := &manager{
-		cfg:   cfg,
-		cache: newPlanCache(cfg.CacheSize),
-		rec:   &trace.Collector{},
-		jobs:  make(map[string]*job),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:        cfg,
+		cache:      newPlanCache(cfg.CacheSize),
+		posteriors: newPosteriorStore(cfg.PosteriorBytes),
+		rec:        &trace.Collector{},
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueDepth),
 	}
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -170,8 +165,9 @@ func (m *manager) worker() {
 
 // submit validates queue capacity and registers the job. The queue is
 // bounded: a full queue rejects the submission immediately (backpressure)
-// rather than letting latency grow without bound.
-func (m *manager) submit(p *molecule.Problem, params encode.SolveParams) (*job, error) {
+// rather than letting latency grow without bound. A non-nil warm posterior
+// (already resolved and validated against the problem) seeds the solve.
+func (m *manager) submit(p *molecule.Problem, params encode.SolveParams, warm *storedPosterior) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -183,6 +179,7 @@ func (m *manager) submit(p *molecule.Problem, params encode.SolveParams) (*job, 
 		id:        fmt.Sprintf("job-%06d", m.nextID),
 		problem:   p,
 		params:    params,
+		warm:      warm,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -284,6 +281,18 @@ func (m *manager) run(j *job) {
 	sol, err := m.solve(ctx, j)
 	switch {
 	case err == nil:
+		if j.params.KeepPosterior {
+			kept := m.posteriors.put(&storedPosterior{
+				jobID:      j.id,
+				problem:    j.problem.Name,
+				topoHash:   encode.TopologyHash(j.problem),
+				structHash: encode.StructureHash(j.problem),
+				post:       sol.Posterior(),
+			})
+			j.mu.Lock()
+			j.posteriorKept = kept
+			j.mu.Unlock()
+		}
 		j.finish(StateDone, "", sol)
 	case errors.Is(err, context.Canceled):
 		j.finish(StateCancelled, "cancelled while running", nil)
@@ -350,6 +359,11 @@ func (m *manager) solve(ctx context.Context, j *job) (*core.Solution, error) {
 		return nil, fmt.Errorf("building estimator: %w", err)
 	}
 
+	// Warm start: continue from the referenced job's posterior instead of
+	// the perturbed-prior initialisation.
+	if j.warm != nil {
+		return est.SolveFrom(ctx, j.warm.post)
+	}
 	perturb := params.Perturb
 	if perturb == 0 {
 		perturb = 0.5
@@ -362,6 +376,45 @@ func (m *manager) solve(ctx context.Context, j *job) (*core.Solution, error) {
 	}
 	init := molecule.Perturbed(j.problem, perturb, seed)
 	return est.SolveContext(ctx, init)
+}
+
+// isDraining reports whether the manager has stopped accepting work.
+func (m *manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// list returns submission-ordered status snapshots of retained job
+// records, optionally filtered by state, starting strictly after the given
+// id, and capped at limit entries. The second return value is the cursor
+// for the next page ("" when the listing is exhausted). Job ids are
+// zero-padded and assigned in submission order, so "after" pagination is a
+// simple lexicographic comparison that stays correct even when the
+// referenced record has since been pruned.
+func (m *manager) list(state JobState, after string, limit int) ([]JobStatus, string) {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		if j := m.jobs[id]; j != nil && (after == "" || id > after) {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := []JobStatus{}
+	next := ""
+	for _, j := range jobs {
+		st := j.status()
+		if state != "" && st.State != state {
+			continue
+		}
+		if len(out) == limit {
+			next = out[len(out)-1].ID
+			break
+		}
+		out = append(out, st)
+	}
+	return out, next
 }
 
 // queueDepth returns the number of jobs waiting for a worker.

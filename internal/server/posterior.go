@@ -1,0 +1,113 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"phmse/internal/core"
+)
+
+// storedPosterior is one retained job posterior plus the identity needed
+// to validate warm-start references against it.
+type storedPosterior struct {
+	jobID   string
+	problem string
+	// topoHash identifies the full problem topology the posterior was
+	// solved under; structHash identifies just the molecule (atoms +
+	// grouping) and is the warm-start compatibility key — re-solves may
+	// change the constraint set freely but never the molecule.
+	topoHash   string
+	structHash string
+	post       *core.Posterior
+	bytes      int64
+}
+
+// posteriorStore is the bounded, memory-accounted LRU store of job
+// posteriors. Entries are keyed by job id. Unlike the plan cache, whose
+// entries are small and counted, posterior footprints are dominated by the
+// full covariance — 8·(3n)² bytes per problem — so the store accounts
+// bytes, not entries, and evicts least-recently-used posteriors until the
+// budget is respected.
+type posteriorStore struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used; values are *storedPosterior
+	entries  map[string]*list.Element
+
+	hits, misses, stored, rejected, evicted int64
+}
+
+func newPosteriorStore(maxBytes int64) *posteriorStore {
+	return &posteriorStore{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+// put admits a posterior, evicting least-recently-used entries as needed.
+// It reports whether the posterior was retained: one larger than the whole
+// budget (or a disabled store) is rejected outright.
+func (ps *posteriorStore) put(sp *storedPosterior) bool {
+	sp.bytes = sp.post.Bytes()
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.maxBytes <= 0 || sp.bytes > ps.maxBytes {
+		ps.rejected++
+		return false
+	}
+	if el, ok := ps.entries[sp.jobID]; ok {
+		ps.bytes -= el.Value.(*storedPosterior).bytes
+		ps.order.Remove(el)
+		delete(ps.entries, sp.jobID)
+	}
+	for ps.bytes+sp.bytes > ps.maxBytes {
+		oldest := ps.order.Back()
+		old := oldest.Value.(*storedPosterior)
+		ps.bytes -= old.bytes
+		ps.order.Remove(oldest)
+		delete(ps.entries, old.jobID)
+		ps.evicted++
+	}
+	ps.entries[sp.jobID] = ps.order.PushFront(sp)
+	ps.bytes += sp.bytes
+	ps.stored++
+	return true
+}
+
+// get returns the retained posterior of a job, bumping its recency.
+func (ps *posteriorStore) get(jobID string) (*storedPosterior, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	el, ok := ps.entries[jobID]
+	if !ok {
+		ps.misses++
+		return nil, false
+	}
+	ps.hits++
+	ps.order.MoveToFront(el)
+	return el.Value.(*storedPosterior), true
+}
+
+// posteriorStats is a point-in-time snapshot of the store's accounting.
+type posteriorStats struct {
+	entries                                 int
+	bytes, capacity                         int64
+	hits, misses, stored, rejected, evicted int64
+}
+
+func (ps *posteriorStore) stats() posteriorStats {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return posteriorStats{
+		entries:  ps.order.Len(),
+		bytes:    ps.bytes,
+		capacity: ps.maxBytes,
+		hits:     ps.hits,
+		misses:   ps.misses,
+		stored:   ps.stored,
+		rejected: ps.rejected,
+		evicted:  ps.evicted,
+	}
+}

@@ -1,29 +1,46 @@
 // Package server implements phmsed, the structure-estimation daemon: an
 // HTTP/JSON API over the encode problem format with a bounded job queue, a
-// worker pool sized to the machine, a topology-keyed plan cache, per-job
+// worker pool sized to the machine, a topology-keyed plan cache, a
+// memory-accounted posterior store for warm-start re-solves, per-job
 // cancellation and timeouts, and graceful shutdown. It is the serving
 // layer the scaling roadmap (sharding, batching, multi-backend) builds on.
 //
-// Endpoints:
+// Endpoints (v1):
 //
-//	POST /v1/solve            submit a problem (async); 202 + job id
-//	GET  /v1/jobs/{id}        job status with cycle-level progress
-//	GET  /v1/jobs/{id}/result solution JSON (or ?format=pdb)
-//	POST /v1/jobs/{id}/cancel cancel a queued or running job
-//	GET  /healthz             liveness (503 while draining)
-//	GET  /metrics             expvar-style counters, JSON
+//	POST /v1/solve               submit a problem (async); 202 + job id.
+//	                             Accepts "warm_start": {"job": ...} to
+//	                             continue from a retained posterior and
+//	                             "params": {"keep_posterior": true} to
+//	                             retain this job's posterior.
+//	GET  /v1/jobs                submission-ordered job listing
+//	                             (?state=done&limit=50&after=<id>)
+//	GET  /v1/jobs/{id}           job status with cycle-level progress
+//	GET  /v1/jobs/{id}/result    solution JSON (or ?format=pdb)
+//	GET  /v1/jobs/{id}/posterior retained posterior (?cov=full for the
+//	                             full covariance matrix)
+//	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//	GET  /healthz                liveness (503 while draining)
+//	GET  /metrics                expvar-style counters, JSON
+//
+// Failures return the structured error envelope
+// {"error": {"code": ..., "message": ..., "state": ...}} with the codes
+// defined in package encode; the typed client in internal/client maps them
+// onto Go errors.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"phmse/internal/encode"
+	"phmse/internal/molecule"
 	"phmse/internal/pdb"
 	"phmse/internal/trace"
 )
@@ -31,6 +48,9 @@ import (
 // maxRequestBody bounds a solve request body (64 MiB holds a problem two
 // orders of magnitude larger than the paper's ribosome).
 const maxRequestBody = 64 << 20
+
+// maxListLimit caps one page of the job listing.
+const maxListLimit = 500
 
 // Config sizes the daemon. The zero value selects defaults that share the
 // machine without oversubscription: Workers × ProcsPerJob ≈ GOMAXPROCS.
@@ -50,6 +70,10 @@ type Config struct {
 	CacheSize int
 	// MaxRecords bounds retained job records (default 1024).
 	MaxRecords int
+	// PosteriorBytes bounds the total heap footprint of retained job
+	// posteriors; least-recently-used posteriors are evicted beyond it
+	// (default 256 MiB; 0 keeps the default, negative disables retention).
+	PosteriorBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRecords <= 0 {
 		c.MaxRecords = 1024
 	}
+	if c.PosteriorBytes == 0 {
+		c.PosteriorBytes = 256 << 20
+	}
 	return c
 }
 
@@ -97,8 +124,10 @@ func New(cfg Config) *Server {
 		start: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/posterior", s.handleJobPosterior)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -127,39 +156,100 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The status line is already on the wire, so the client cannot be
+		// told; a failed body write almost always means it hung up. Log it
+		// rather than losing it silently.
+		log.Printf("phmsed: writing response: %v", err)
+	}
 }
 
-type apiError struct {
-	Error string   `json:"error"`
-	State JobState `json:"state,omitempty"`
+// writeError emits the v1 structured error envelope.
+func writeError(w http.ResponseWriter, httpStatus int, code, message string, state JobState) {
+	writeJSON(w, httpStatus, encode.ErrorEnvelope{Error: encode.ErrorBody{
+		Code:    code,
+		Message: message,
+		State:   state,
+	}})
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
-	p, params, err := encode.ReadSolveRequest(body)
+	p, params, warmRef, err := encode.ReadSolveRequest(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest, err.Error(), "")
 		return
 	}
-	j, err := s.mgr.submit(p, params)
+	var warm *storedPosterior
+	if warmRef != nil {
+		var fail *apiFailure
+		warm, fail = s.mgr.resolveWarmStart(warmRef.Job, p)
+		if fail != nil {
+			writeError(w, fail.httpStatus, fail.code, fail.message, fail.state)
+			return
+		}
+	}
+	j, err := s.mgr.submit(p, params, warm)
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, j.status())
 	case err == ErrQueueFull:
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, encode.CodeQueueFull, err.Error(), "")
 	case err == ErrDraining:
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		writeError(w, http.StatusServiceUnavailable, encode.CodeDraining, err.Error(), "")
 	default:
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, encode.CodeInternal, err.Error(), "")
 	}
+}
+
+// apiFailure is a resolved request failure: the HTTP status plus the
+// envelope fields to report.
+type apiFailure struct {
+	httpStatus int
+	code       string
+	message    string
+	state      JobState
+}
+
+// resolveWarmStart maps a warm_start reference onto a retained posterior,
+// distinguishing the three failure modes the API contract names: unknown
+// job (not_found), known job without a usable posterior (no_result), and a
+// posterior for a different molecule (topology_mismatch). Validating the
+// structure hash here turns a silently wrong answer into a 4xx.
+func (m *manager) resolveWarmStart(jobID string, p *molecule.Problem) (*storedPosterior, *apiFailure) {
+	sp, ok := m.posteriors.get(jobID)
+	if !ok {
+		if j, exists := m.get(jobID); exists {
+			st := j.status()
+			msg := fmt.Sprintf("job %s has no retained posterior", jobID)
+			switch {
+			case !st.State.Terminal():
+				msg = fmt.Sprintf("job %s has not finished", jobID)
+			case st.State != StateDone:
+				msg = fmt.Sprintf("job %s finished without a result", jobID)
+			case st.PosteriorKept:
+				msg = fmt.Sprintf("job %s's posterior was evicted", jobID)
+			default:
+				msg = fmt.Sprintf("job %s was not submitted with keep_posterior", jobID)
+			}
+			return nil, &apiFailure{http.StatusConflict, encode.CodeNoResult, msg, st.State}
+		}
+		return nil, &apiFailure{http.StatusNotFound, encode.CodeNotFound,
+			fmt.Sprintf("unknown job %q", jobID), ""}
+	}
+	if encode.StructureHash(p) != sp.structHash {
+		return nil, &apiFailure{http.StatusConflict, encode.CodeTopologyMismatch,
+			fmt.Sprintf("posterior of job %s belongs to a different molecule (%d atoms, problem %q)",
+				jobID, len(sp.post.Positions), sp.problem), ""}
+	}
+	return sp, nil
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, http.StatusNotFound, encode.CodeNotFound, "unknown job", "")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -168,7 +258,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.requestCancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, http.StatusNotFound, encode.CodeNotFound, "unknown job", "")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -177,12 +267,12 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job"})
+		writeError(w, http.StatusNotFound, encode.CodeNotFound, "unknown job", "")
 		return
 	}
 	sol, state := j.result()
 	if state != StateDone || sol == nil {
-		writeJSON(w, http.StatusConflict, apiError{Error: "job has no result", State: state})
+		writeError(w, http.StatusConflict, encode.CodeNoResult, "job has no result", state)
 		return
 	}
 	if r.URL.Query().Get("format") == "pdb" {
@@ -202,11 +292,60 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
+func (s *Server) handleJobPosterior(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sp, ok := s.mgr.posteriors.get(id)
+	if !ok {
+		if j, exists := s.mgr.get(id); exists {
+			st := j.status()
+			writeError(w, http.StatusConflict, encode.CodeNoResult,
+				"job has no retained posterior (submit with keep_posterior, or it was evicted)", st.State)
+			return
+		}
+		writeError(w, http.StatusNotFound, encode.CodeNotFound, "unknown job", "")
+		return
+	}
+	cov := sp.post.Cov
+	if r.URL.Query().Get("cov") != "full" {
+		// The full matrix is 8·(3n)² bytes on the wire; serve the diagonal
+		// unless explicitly asked.
+		cov = nil
+	}
+	doc := encode.NewPosteriorDoc(sp.post.Positions, sp.post.CoordVariances, cov)
+	doc.Job = sp.jobID
+	doc.Problem = sp.problem
+	doc.TopologyHash = sp.topoHash
+	doc.StructureHash = sp.structHash
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := JobState(q.Get("state"))
+	if state != "" && !state.Valid() {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("unknown state %q", state), "")
+		return
+	}
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+				fmt.Sprintf("limit must be a positive integer, got %q", v), "")
+			return
+		}
+		limit = n
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	jobs, next := s.mgr.list(state, q.Get("after"), limit)
+	writeJSON(w, http.StatusOK, encode.JobList{Jobs: jobs, NextAfter: next})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mgr.mu.Lock()
-	draining := s.mgr.draining
-	s.mgr.mu.Unlock()
-	if draining {
+	if s.mgr.isDraining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -219,6 +358,9 @@ type Metrics struct {
 	Jobs          MetricsJobs      `json:"jobs"`
 	Queue         MetricsQueue     `json:"queue"`
 	PlanCache     MetricsPlanCache `json:"plan_cache"`
+	// Posteriors reports the warm-start posterior store's occupancy and
+	// effectiveness.
+	Posteriors MetricsPosteriorStore `json:"posterior_store"`
 	// OpTimes is the per-operation-class time breakdown accumulated across
 	// all solves (the paper's d-s/chol/sys/m-m/m-v/vec accounting).
 	OpTimes trace.Snapshot `json:"op_times"`
@@ -250,10 +392,23 @@ type MetricsPlanCache struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// MetricsPosteriorStore reports the posterior store's byte accounting.
+type MetricsPosteriorStore struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Stored        int64 `json:"stored"`
+	Rejected      int64 `json:"rejected"`
+	Evicted       int64 `json:"evicted"`
+}
+
 // Snapshot assembles the current metrics document.
 func (s *Server) Snapshot() Metrics {
 	counts := s.mgr.countByState()
 	hits, misses, entries := s.mgr.cache.stats()
+	ps := s.mgr.posteriors.stats()
 	m := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs: MetricsJobs{
@@ -271,7 +426,17 @@ func (s *Server) Snapshot() Metrics {
 			Workers:  s.cfg.Workers,
 		},
 		PlanCache: MetricsPlanCache{Hits: hits, Misses: misses, Entries: entries},
-		OpTimes:   s.mgr.rec.Snapshot(),
+		Posteriors: MetricsPosteriorStore{
+			Entries:       ps.entries,
+			Bytes:         ps.bytes,
+			CapacityBytes: ps.capacity,
+			Hits:          ps.hits,
+			Misses:        ps.misses,
+			Stored:        ps.stored,
+			Rejected:      ps.rejected,
+			Evicted:       ps.evicted,
+		},
+		OpTimes: s.mgr.rec.Snapshot(),
 	}
 	if total := hits + misses; total > 0 {
 		m.PlanCache.HitRate = float64(hits) / float64(total)
