@@ -12,6 +12,17 @@
 //
 //	msesolve -in helix16.json -save-posterior helix16.post.json
 //	msesolve -in helix16_more_data.json -resume helix16.post.json
+//
+// Exit codes distinguish the failure class for scripting:
+//
+//	0  solved
+//	1  unclassified error
+//	2  usage error (bad flags)
+//	3  bad input (unreadable or invalid problem/posterior/PDB file)
+//	4  solve diverged (RMS change grew without bound)
+//	5  innovation covariance indefinite through every ridge retry
+//	6  solve produced non-finite values in every batch
+//	7  cancelled or timed out
 package main
 
 import (
@@ -29,10 +40,23 @@ import (
 	"phmse/internal/conform"
 	"phmse/internal/core"
 	"phmse/internal/encode"
+	"phmse/internal/filter"
 	"phmse/internal/geom"
 	"phmse/internal/molecule"
 	"phmse/internal/pdb"
+	"phmse/internal/solvererr"
 	"phmse/internal/trace"
+)
+
+// Exit codes: the failure classes scripts branch on.
+const (
+	exitGeneric    = 1
+	exitUsage      = 2
+	exitBadInput   = 3
+	exitDiverged   = 4
+	exitIndefinite = 5
+	exitNonFinite  = 6
+	exitCanceled   = 7
 )
 
 func main() {
@@ -80,12 +104,12 @@ func main() {
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		fatalInput(err)
 	}
 	p, err := encode.ReadProblem(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		fatalInput(err)
 	}
 	fmt.Printf("problem %s: %d atoms, %d constraints (%d scalar)\n",
 		p.Name, len(p.Atoms), len(p.Constraints), p.ScalarDim())
@@ -123,7 +147,7 @@ func main() {
 	if *resume != "" {
 		post, err = readPosterior(*resume, p)
 		if err != nil {
-			fatal(err)
+			fatalInput(err)
 		}
 		fmt.Printf("resuming from posterior %s\n", *resume)
 	}
@@ -135,15 +159,15 @@ func main() {
 	case *initPDB != "":
 		f, err := os.Open(*initPDB)
 		if err != nil {
-			fatal(err)
+			fatalInput(err)
 		}
 		_, pos, err := pdb.Read(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			fatalInput(err)
 		}
 		if len(pos) != len(p.Atoms) {
-			fatal(fmt.Errorf("%s has %d atoms, problem has %d", *initPDB, len(pos), len(p.Atoms)))
+			fatalInput(fmt.Errorf("%s has %d atoms, problem has %d", *initPDB, len(pos), len(p.Atoms)))
 		}
 		init = pos
 	case *useConf:
@@ -162,9 +186,10 @@ func main() {
 	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			fatal(fmt.Errorf("solve did not finish within -timeout %v", *timeout))
+			err = fmt.Errorf("solve did not finish within -timeout %v: %w", *timeout, err)
 		}
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "msesolve:", err)
+		os.Exit(solveExitCode(err))
 	}
 	elapsed := time.Since(start)
 
@@ -187,6 +212,7 @@ func main() {
 
 	if *verbose {
 		fmt.Println("time distribution:", rec.Times().Format())
+		printDiagnostics(sol.Diagnostics)
 		fmt.Print(sol.UncertaintyReport(3))
 		fmt.Println("residuals by constraint type:")
 		fmt.Print(analysis.FormatResiduals(analysis.ResidualByType(sol.Positions, p.Constraints)))
@@ -262,13 +288,55 @@ func readPosterior(path string, p *molecule.Problem) (*core.Posterior, error) {
 	return &core.Posterior{Positions: pos, CoordVariances: coordVar, Cov: cov}, nil
 }
 
+// printDiagnostics summarizes the solve's fault-containment activity: how
+// hard the numerical guards had to work to deliver the estimate.
+func printDiagnostics(d *filter.DiagSnapshot) {
+	if d == nil {
+		return
+	}
+	fmt.Printf("containment: %d ridge retries, %d rollbacks, %d quarantined batches, %d cycles traced\n",
+		d.RidgeRetries, d.Rollbacks, len(d.Quarantined), len(d.RMSTrajectory))
+	for _, q := range d.Quarantined {
+		where := fmt.Sprintf("batch %d", q.Batch)
+		if q.Node != "" {
+			where = fmt.Sprintf("node %q %s", q.Node, where)
+		}
+		fmt.Printf("  quarantined %s: %s, cycles %d..%d (%d total)\n",
+			where, q.Reason, q.FirstCycle, q.LastCycle, q.Cycles)
+	}
+}
+
+// solveExitCode maps a solve failure onto the documented exit codes.
+func solveExitCode(err error) int {
+	switch {
+	case errors.Is(err, solvererr.ErrDiverged):
+		return exitDiverged
+	case errors.Is(err, solvererr.ErrIndefinite):
+		return exitIndefinite
+	case errors.Is(err, solvererr.ErrNonFinite):
+		return exitNonFinite
+	case errors.Is(err, solvererr.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return exitCanceled
+	default:
+		return exitGeneric
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "msesolve:", err)
-	os.Exit(1)
+	os.Exit(exitGeneric)
+}
+
+// fatalInput reports an unreadable or invalid input file.
+func fatalInput(err error) {
+	fmt.Fprintln(os.Stderr, "msesolve:", err)
+	os.Exit(exitBadInput)
 }
 
 func usageError(msg string) {
 	fmt.Fprintln(os.Stderr, "msesolve:", msg)
 	flag.Usage()
-	os.Exit(2)
+	os.Exit(exitUsage)
 }

@@ -44,6 +44,7 @@ func main() {
 		queue        = flag.Int("queue", 32, "bounded job-queue depth (full queue rejects with 429)")
 		cacheSize    = flag.Int("plan-cache", 64, "plan cache entries (negative disables)")
 		postMB       = flag.Int64("posterior-mb", 256, "posterior store budget in MiB for warm starts (<= 0 disables)")
+		maxRetries   = flag.Int("max-retries", 2, "automatic re-solve attempts after a transient job failure (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
 	)
 	flag.Parse()
@@ -52,8 +53,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *workers < 0 || *procs < 0 || *queue < 1 || *drainTimeout <= 0 {
-		fmt.Fprintln(os.Stderr, "phmsed: -workers and -procs must be >= 0, -queue >= 1, -drain-timeout > 0")
+	if *workers < 0 || *procs < 0 || *queue < 1 || *maxRetries < 0 || *drainTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "phmsed: -workers and -procs must be >= 0, -queue >= 1, -max-retries >= 0, -drain-timeout > 0")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,12 +63,17 @@ func main() {
 	if *postMB <= 0 {
 		posteriorBytes = -1
 	}
+	retries := *maxRetries
+	if retries == 0 {
+		retries = -1 // Config: 0 keeps the default, negative disables
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		ProcsPerJob:    *procs,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		PosteriorBytes: posteriorBytes,
+		MaxRetries:     retries,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -31,8 +32,9 @@ import (
 // Client talks to one phmsed instance. The zero value is not usable;
 // create with New. A Client is safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy // nil: no transport-level retries
 }
 
 // Option configures a Client.
@@ -42,6 +44,58 @@ type Option func(*Client)
 // transports, instrumentation).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// RetryPolicy shapes the transport-level retry of WithRetry: jittered
+// exponential backoff, floored by any Retry-After the server sent.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries of one request (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt k waits
+	// roughly BaseDelay·2ᵏ (default 50 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step before jitter (default 2 s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// delay computes the backoff before retry number retryIdx (0-based): the
+// capped exponential step, jittered over [d/2, 3d/2) so synchronized
+// clients spread out, and floored by the server's Retry-After when the
+// last rejection carried one.
+func (p RetryPolicy) delay(retryIdx int, last error) time.Duration {
+	d := p.BaseDelay << retryIdx
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	var ae *APIError
+	if errors.As(last, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return d
+}
+
+// WithRetry enables transport-level retries: backpressure rejections
+// (queue_full, draining) are retried for every method — the server rejects
+// them before any side effect — while transport errors and 5xx responses
+// are retried only for idempotent GETs. Backoff follows the policy; the
+// request's context bounds the whole retry loop.
+func WithRetry(p RetryPolicy) Option {
+	pol := p.withDefaults()
+	return func(c *Client) { c.retry = &pol }
 }
 
 // New builds a client for the server at base (e.g. "http://host:8080"; a
@@ -100,9 +154,55 @@ func IsQueueFull(err error) bool { return HasCode(err, encode.CodeQueueFull) }
 // warm-start rejection.
 func IsTopologyMismatch(err error) bool { return HasCode(err, encode.CodeTopologyMismatch) }
 
-// do issues one request and decodes a 2xx JSON body into out (skipped when
-// out is nil). Non-2xx responses become *APIError.
+// do issues a request under the client's retry policy (none by default)
+// and decodes a 2xx JSON body into out (skipped when out is nil). Non-2xx
+// responses become *APIError.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.retry == nil {
+		return c.doOnce(ctx, method, path, body, out)
+	}
+	var last error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			t := time.NewTimer(c.retry.delay(attempt-1, last))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("client: retrying %s %s: %w (last error: %v)", method, path, ctx.Err(), last)
+			}
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil || !retryableRequest(method, err) {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// retryableRequest reports whether a failed request may be reissued:
+// backpressure rejections never had side effects, so any method retries;
+// transport errors and 5xx responses could have reached a non-idempotent
+// handler, so only GETs retry through them.
+func retryableRequest(method string, err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		if ae.Code == encode.CodeQueueFull || ae.Code == encode.CodeDraining {
+			return true
+		}
+		return method == http.MethodGet && ae.HTTPStatus >= 500
+	}
+	// Not an envelope: the request never produced a response (dial/reset/
+	// timeout). Context errors are deliberate and final.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return method == http.MethodGet
+}
+
+// doOnce issues exactly one request.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -225,6 +325,64 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration, states
 					return st, nil
 				}
 			}
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("client: waiting for job %s (last state %s): %w", id, st.State, ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// WaitRetry polls like Wait but rides through transient polling failures —
+// transport errors and 5xx responses — with the client's retry backoff
+// (the WithRetry policy, or its defaults) instead of returning on the
+// first hiccup. It gives up after MaxAttempts consecutive failed polls, on
+// a non-transient error (e.g. not_found), or when ctx ends.
+func (c *Client) WaitRetry(ctx context.Context, id string, poll time.Duration, states ...encode.JobState) (encode.JobStatus, error) {
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	pol := RetryPolicy{}.withDefaults()
+	if c.retry != nil {
+		pol = *c.retry
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	failures := 0
+	var lastErr error
+	for {
+		st, err := c.Status(ctx, id)
+		switch {
+		case err == nil:
+			failures = 0
+			if len(states) == 0 {
+				if st.State.Terminal() {
+					return st, nil
+				}
+			} else {
+				for _, want := range states {
+					if st.State == want {
+						return st, nil
+					}
+				}
+			}
+		case !retryableRequest(http.MethodGet, err):
+			return encode.JobStatus{}, err
+		default:
+			failures++
+			lastErr = err
+			if failures >= pol.MaxAttempts {
+				return encode.JobStatus{}, fmt.Errorf("client: waiting for job %s: %d consecutive poll failures: %w", id, failures, err)
+			}
+			bt := time.NewTimer(pol.delay(failures-1, err))
+			select {
+			case <-bt.C:
+			case <-ctx.Done():
+				bt.Stop()
+				return encode.JobStatus{}, fmt.Errorf("client: waiting for job %s: %w (last error: %v)", id, ctx.Err(), lastErr)
+			}
+			continue
 		}
 		select {
 		case <-ctx.Done():

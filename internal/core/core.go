@@ -82,6 +82,15 @@ type Config struct {
 	// cycle-level progress reporting; it must be fast and must not call back
 	// into the estimator.
 	OnCycle func(cycle int, rmsChange float64)
+	// DivergeAfter is the divergence-watchdog patience: the solve aborts
+	// with a typed solvererr.Diverged when the per-cycle RMS change grows
+	// for this many consecutive cycles. Zero selects the default of 8;
+	// negative disables the watchdog.
+	DivergeAfter int
+	// NoGuard disables numerical fault containment (ridge retries on an
+	// indefinite innovation covariance, non-finite rollback, per-cycle
+	// batch quarantine), restoring the raw fail-fast iteration.
+	NoGuard bool
 }
 
 func (c Config) withDefaults() Config {
@@ -244,6 +253,10 @@ type Solution struct {
 	RMSChange float64
 	// Residual is the RMS weighted constraint residual at the solution.
 	Residual float64
+	// Diagnostics reports the numerical fault-containment activity of the
+	// solve: ridge retries, non-finite rollbacks, quarantined batches, and
+	// the per-cycle RMS-change trajectory. Never nil.
+	Diagnostics *filter.DiagSnapshot
 
 	state *filter.State // full posterior, for covariance interpretation
 	local []int         // problem atom → state atom index
@@ -333,32 +346,36 @@ func (e *Estimator) solveFlat(ctx context.Context, init []geom.Vec3, post *Poste
 		}
 	}
 	res, err := filter.Solve(s, e.problem.Constraints, filter.SolveOptions{
-		BatchSize: e.cfg.BatchSize,
-		MaxCycles: e.cfg.MaxCycles,
-		Tol:       e.cfg.Tol,
-		InitVar:   e.cfg.InitVar,
-		Team:      e.team,
-		Rec:       e.cfg.Recorder,
-		MaxStep:   e.cfg.MaxStep,
-		Joseph:    e.cfg.Joseph,
-		GateSigma: e.cfg.GateSigma,
-		Warm:      warm,
-		Ctx:       ctx,
-		OnCycle:   e.cfg.OnCycle,
+		BatchSize:    e.cfg.BatchSize,
+		MaxCycles:    e.cfg.MaxCycles,
+		Tol:          e.cfg.Tol,
+		InitVar:      e.cfg.InitVar,
+		Team:         e.team,
+		Rec:          e.cfg.Recorder,
+		MaxStep:      e.cfg.MaxStep,
+		Joseph:       e.cfg.Joseph,
+		GateSigma:    e.cfg.GateSigma,
+		Warm:         warm,
+		Ctx:          ctx,
+		OnCycle:      e.cfg.OnCycle,
+		DivergeAfter: e.cfg.DivergeAfter,
+		NoGuard:      e.cfg.NoGuard,
+		FaultTag:     e.problem.Name,
 	})
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{
-		Positions: s.Positions(),
-		Variances: make([]float64, s.Atoms()),
-		Cycles:    res.Cycles,
-		Converged: res.Converged,
-		RMSChange: res.RMSChange,
-		Residual:  res.Residual,
-		state:     s,
-		local:     make([]int, s.Atoms()),
-		names:     atomNames(e.problem),
+		Positions:   s.Positions(),
+		Variances:   make([]float64, s.Atoms()),
+		Cycles:      res.Cycles,
+		Converged:   res.Converged,
+		RMSChange:   res.RMSChange,
+		Residual:    res.Residual,
+		Diagnostics: res.Diag.Snapshot(),
+		state:       s,
+		local:       make([]int, s.Atoms()),
+		names:       atomNames(e.problem),
 	}
 	for i := range sol.Variances {
 		sol.Variances[i] = s.Variance(i)
@@ -381,32 +398,36 @@ func atomNames(p *molecule.Problem) []string {
 // pass as a sequential continuation (see hier.Options.WarmVars).
 func (e *Estimator) solveHier(ctx context.Context, init []geom.Vec3, warmVars []float64) (*Solution, error) {
 	state, res, err := hier.Solve(e.root, init, hier.Options{
-		BatchSize: e.cfg.BatchSize,
-		MaxCycles: e.cfg.MaxCycles,
-		Tol:       e.cfg.Tol,
-		InitVar:   e.cfg.InitVar,
-		Team:      e.team,
-		Plan:      e.plan,
-		Rec:       e.cfg.Recorder,
-		MaxStep:   e.cfg.MaxStep,
-		Joseph:    e.cfg.Joseph,
-		GateSigma: e.cfg.GateSigma,
-		WarmVars:  warmVars,
-		Ctx:       ctx,
-		OnCycle:   e.cfg.OnCycle,
+		BatchSize:    e.cfg.BatchSize,
+		MaxCycles:    e.cfg.MaxCycles,
+		Tol:          e.cfg.Tol,
+		InitVar:      e.cfg.InitVar,
+		Team:         e.team,
+		Plan:         e.plan,
+		Rec:          e.cfg.Recorder,
+		MaxStep:      e.cfg.MaxStep,
+		Joseph:       e.cfg.Joseph,
+		GateSigma:    e.cfg.GateSigma,
+		WarmVars:     warmVars,
+		Ctx:          ctx,
+		OnCycle:      e.cfg.OnCycle,
+		DivergeAfter: e.cfg.DivergeAfter,
+		NoGuard:      e.cfg.NoGuard,
+		FaultTag:     e.problem.Name,
 	})
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{
-		Positions: append([]geom.Vec3(nil), init...),
-		Variances: make([]float64, len(e.problem.Atoms)),
-		Cycles:    res.Cycles,
-		Converged: res.Converged,
-		RMSChange: res.RMSChange,
-		state:     state,
-		local:     make([]int, len(e.problem.Atoms)),
-		names:     atomNames(e.problem),
+		Positions:   append([]geom.Vec3(nil), init...),
+		Variances:   make([]float64, len(e.problem.Atoms)),
+		Cycles:      res.Cycles,
+		Converged:   res.Converged,
+		RMSChange:   res.RMSChange,
+		Diagnostics: res.Diag.Snapshot(),
+		state:       state,
+		local:       make([]int, len(e.problem.Atoms)),
+		names:       atomNames(e.problem),
 	}
 	for i, a := range e.root.Atoms {
 		sol.Positions[a] = state.Pos(i)

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"phmse/internal/faultinject"
+	"phmse/internal/hier"
+	"phmse/internal/molecule"
+	"phmse/internal/solvererr"
+)
+
+// A hierarchical solve whose first cycles hit an indefinite batch in one
+// leaf must quarantine it — naming the owning node in the record — retry
+// it at later linearization points, and still converge.
+func TestHierQuarantineRecordsNode(t *testing.T) {
+	p := helixProblem(1)
+	e, err := New(p, Config{Mode: Hierarchical, AutoDecompose: true, LeafSize: 8, MaxCycles: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target string
+	e.Root().Walk(func(n *hier.Node) {
+		if target == "" && n.IsLeaf() {
+			target = n.Name
+		}
+	})
+	if target == "" {
+		t.Fatal("no leaf node")
+	}
+	faultinject.Set(&faultinject.Hooks{
+		Cholesky: func(s faultinject.Site) bool {
+			return s.Tag == p.Name && s.Node == target && s.Batch == 0 && s.Cycle <= 2
+		},
+	})
+	t.Cleanup(faultinject.Reset)
+
+	sol, err := e.Solve(molecule.Perturbed(p, 0.3, 31))
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Diagnostics == nil || len(sol.Diagnostics.Quarantined) == 0 {
+		t.Fatalf("diagnostics = %+v, want a quarantine record", sol.Diagnostics)
+	}
+	q := sol.Diagnostics.Quarantined[0]
+	if q.Node != target || q.Batch != 0 {
+		t.Fatalf("record = %+v, want node %q batch 0", q, target)
+	}
+	if q.FirstCycle != 1 || q.LastCycle != 2 || q.Cycles != 2 {
+		t.Fatalf("record window = %+v, want cycles 1..2", q)
+	}
+	if sol.Residual > 5 {
+		t.Fatalf("residual %g after quarantined solve", sol.Residual)
+	}
+}
+
+// Pervasive injection across the whole tree leaves no applicable batch;
+// the hierarchical driver must fail typed instead of spinning.
+func TestHierNoProgressFailsTyped(t *testing.T) {
+	faultinject.Set(&faultinject.Hooks{
+		Cholesky: func(faultinject.Site) bool { return true },
+	})
+	t.Cleanup(faultinject.Reset)
+
+	p := helixProblem(1)
+	e, err := New(p, Config{Mode: Hierarchical, AutoDecompose: true, LeafSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = e.Solve(molecule.Perturbed(p, 0.3, 31))
+	if !errors.Is(err, solvererr.ErrIndefinite) {
+		t.Fatalf("err = %v, want ErrIndefinite", err)
+	}
+	var ind *solvererr.Indefinite
+	if !errors.As(err, &ind) || ind.Node == "" {
+		t.Fatalf("typed error %#v should name the node", err)
+	}
+}
+
+// Every solution carries diagnostics; a clean solve's are empty apart
+// from the per-cycle RMS trajectory.
+func TestSolutionDiagnosticsPopulated(t *testing.T) {
+	p := helixProblem(1)
+	for _, mode := range []Mode{Flat, Hierarchical} {
+		e, err := New(p, Config{Mode: mode, AutoDecompose: true, LeafSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := e.Solve(molecule.Perturbed(p, 0.2, 7))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		d := sol.Diagnostics
+		if d == nil {
+			t.Fatalf("%v: nil diagnostics", mode)
+		}
+		if d.RidgeRetries != 0 || d.Rollbacks != 0 || len(d.Quarantined) != 0 {
+			t.Fatalf("%v: clean solve reported containment: %+v", mode, d)
+		}
+		if len(d.RMSTrajectory) != sol.Cycles {
+			t.Fatalf("%v: trajectory %d entries, %d cycles", mode, len(d.RMSTrajectory), sol.Cycles)
+		}
+	}
+}

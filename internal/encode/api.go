@@ -51,6 +51,16 @@ type JobStatus struct {
 	// artifacts for this topology.
 	PlanCacheHit bool   `json:"plan_cache_hit"`
 	Error        string `json:"error,omitempty"`
+	// ErrorCode classifies a failed job's error machine-readably:
+	// "diverged", "indefinite", "non_finite", "canceled", "timeout",
+	// "internal_error" (a recovered worker panic), or "solver_error".
+	ErrorCode string `json:"error_code,omitempty"`
+	// Retries counts the automatic re-solve attempts the server made after
+	// transient failures (0 when the first attempt decided the job).
+	Retries int `json:"retries,omitempty"`
+	// FlatFallback reports that the hierarchical solve failed numerically
+	// and the server fell back to one flat-organization attempt.
+	FlatFallback bool `json:"flat_fallback,omitempty"`
 	// WarmStartFrom names the job whose retained posterior seeded this
 	// solve, when the submission carried a warm_start reference.
 	WarmStartFrom string `json:"warm_start_from,omitempty"`
@@ -97,6 +107,10 @@ const (
 	CodeTopologyMismatch = "topology_mismatch"
 	// CodeInternal: an unexpected server-side failure (HTTP 5xx).
 	CodeInternal = "internal"
+	// CodeInternalError: a worker panic was recovered while solving the
+	// job; the job fails but the daemon keeps serving. Reported in
+	// JobStatus.ErrorCode, not as an HTTP envelope code.
+	CodeInternalError = "internal_error"
 )
 
 // ErrorBody is the payload of the v1 error envelope.

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 
+	"phmse/internal/filter"
 	"phmse/internal/geom"
 	"phmse/internal/mat"
 	"phmse/internal/molecule"
@@ -107,6 +108,10 @@ type SolutionDoc struct {
 	Positions [][3]float64 `json:"positions"`
 	// Variances holds each atom's summed coordinate variance (Å²).
 	Variances []float64 `json:"variances"`
+	// Diagnostics reports the solve's numerical fault-containment activity
+	// (ridge retries, rollbacks, quarantined batches, RMS trajectory);
+	// omitted when the solve saw none.
+	Diagnostics *filter.DiagSnapshot `json:"diagnostics,omitempty"`
 }
 
 // PosteriorDoc is the wire form of a retained posterior estimate: the
@@ -195,8 +200,10 @@ func (d *PosteriorDoc) Decode() (pos []geom.Vec3, coordVar []float64, cov *mat.M
 	return pos, coordVar, cov, nil
 }
 
-// NewSolutionDoc assembles the wire form from solver outputs.
-func NewSolutionDoc(name string, pos []geom.Vec3, variances []float64, cycles int, converged bool, rmsChange, residual float64) SolutionDoc {
+// NewSolutionDoc assembles the wire form from solver outputs. diag may be
+// nil; a snapshot with no containment events is omitted from the document
+// so healthy results stay unchanged on the wire.
+func NewSolutionDoc(name string, pos []geom.Vec3, variances []float64, cycles int, converged bool, rmsChange, residual float64, diag *filter.DiagSnapshot) SolutionDoc {
 	doc := SolutionDoc{
 		Name:      name,
 		Converged: converged,
@@ -205,6 +212,9 @@ func NewSolutionDoc(name string, pos []geom.Vec3, variances []float64, cycles in
 		Residual:  residual,
 		Positions: make([][3]float64, len(pos)),
 		Variances: append([]float64(nil), variances...),
+	}
+	if diag != nil && (diag.RidgeRetries > 0 || diag.Rollbacks > 0 || len(diag.Quarantined) > 0) {
+		doc.Diagnostics = diag
 	}
 	for i, p := range pos {
 		doc.Positions[i] = p

@@ -8,6 +8,7 @@ import (
 	"phmse/internal/geom"
 	"phmse/internal/mat"
 	"phmse/internal/par"
+	"phmse/internal/solvererr"
 	"phmse/internal/trace"
 )
 
@@ -59,6 +60,23 @@ type SolveOptions struct {
 	// 1-based cycle number and the RMS coordinate change over that cycle —
 	// the hook the serving layer uses for cycle-level progress reporting.
 	OnCycle func(cycle int, rmsChange float64)
+	// Diag, when non-nil, is the containment-diagnostics sink to report
+	// into; Solve creates one internally when nil, so Result.Diag is
+	// always populated.
+	Diag *Diagnostics
+	// DivergeAfter is the divergence watchdog: the solve aborts with a
+	// typed solvererr.Diverged (carrying the RMS trajectory) when the
+	// per-cycle RMS change grows for this many consecutive cycles —
+	// replacing a silent MaxCycles spin on an inconsistent problem. Zero
+	// selects the default of 8; negative disables the watchdog.
+	DivergeAfter int
+	// NoGuard disables numerical fault containment (ridge retries,
+	// non-finite rollback, batch quarantine), restoring the raw
+	// fail-fast iteration.
+	NoGuard bool
+	// FaultTag labels the solve for fault-injection sites (normally the
+	// problem name).
+	FaultTag string
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -75,7 +93,35 @@ func (o SolveOptions) withDefaults() SolveOptions {
 		o.InitVar = 100
 	}
 	o.MaxStep = NormalizeMaxStep(o.MaxStep)
+	o.DivergeAfter = NormalizeDivergeAfter(o.DivergeAfter)
+	if o.Diag == nil {
+		o.Diag = &Diagnostics{}
+	}
 	return o
+}
+
+// DefaultDivergeAfter is the default watchdog patience: consecutive
+// cycles of growing RMS change before the solve is declared diverged.
+const DefaultDivergeAfter = 8
+
+// DivergeGrowthFactor is the cumulative growth a streak of growing RMS
+// changes must reach before the watchdog declares divergence. Converging
+// iterations can oscillate with long gentle upswings (fractions of a
+// percent per cycle); a genuine runaway grows geometrically and clears
+// this factor within a few cycles.
+const DivergeGrowthFactor = 10.0
+
+// NormalizeDivergeAfter maps the option convention (0 → default, negative
+// → disabled) onto the raw patience count (0 = off).
+func NormalizeDivergeAfter(v int) int {
+	switch {
+	case v == 0:
+		return DefaultDivergeAfter
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
 }
 
 // DefaultMaxStep is the default per-batch trust radius (Å).
@@ -100,6 +146,21 @@ type Result struct {
 	Converged bool    // RMS change fell below Tol before MaxCycles
 	RMSChange float64 // RMS coordinate change over the final cycle
 	Residual  float64 // RMS weighted constraint residual at the solution
+	// Diag is the containment-diagnostics sink of the run (never nil
+	// after Solve returns): ridge retries, rollbacks, quarantined
+	// batches, RMS trajectory.
+	Diag *Diagnostics
+}
+
+// ContainmentError builds the typed error for a cycle that quarantined
+// batches but assimilated nothing — no forward progress is possible when
+// every batch is numerically unusable, so the drivers abort with the
+// class of the first exclusion.
+func ContainmentError(st CycleStats, cycle int) error {
+	if st.Reason == ReasonNonFinite {
+		return &solvererr.NonFinite{Node: st.Node, Batch: st.Batch, Cycle: cycle}
+	}
+	return &solvererr.Indefinite{Node: st.Node, Batch: st.Batch, Retries: maxRidgeRetries}
 }
 
 // Solve estimates the structure from all constraints in the flat (single
@@ -110,11 +171,17 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 	opt = opt.withDefaults()
 	batches, err := MakeBatches(cons, func(a int) int { return a }, opt.BatchSize)
 	if err != nil {
-		return Result{}, err
+		return Result{Diag: opt.Diag}, err
 	}
-	u := &Updater{Team: opt.Team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma}
-	res := Result{}
+	u := &Updater{
+		Team: opt.Team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph,
+		GateSigma: opt.GateSigma, Guard: !opt.NoGuard, Diag: opt.Diag, Tag: opt.FaultTag,
+	}
+	res := Result{Diag: opt.Diag}
 	prev := append([]float64(nil), s.X...)
+	grew := 0
+	prevRMS := math.Inf(1)
+	streakBase := 0.0
 	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
 		if opt.Ctx != nil {
 			if err := opt.Ctx.Err(); err != nil {
@@ -125,7 +192,10 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 		if !opt.Warm {
 			s.ResetCovariance(opt.InitVar)
 		}
-		if _, err := u.ApplyAll(s, batches); err != nil {
+		u.Cycle = cycle + 1
+		opt.Diag.BeginCycle()
+		applied, err := u.ApplyAll(s, batches)
+		if err != nil {
 			return res, err
 		}
 		res.Cycles = cycle + 1
@@ -133,12 +203,36 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 		mat.SubVec(diff, s.X, prev)
 		res.RMSChange = mat.RMS(diff)
 		copy(prev, s.X)
+		stats := opt.Diag.EndCycle(res.RMSChange)
 		if opt.OnCycle != nil {
 			opt.OnCycle(res.Cycles, res.RMSChange)
+		}
+		// No-progress policy: quarantine contains isolated bad batches,
+		// but a cycle in which every batch was excluded assimilated
+		// nothing and never will — fail with the class of the exclusions.
+		if !opt.NoGuard && applied == 0 && stats.Quarantined > 0 {
+			res.Residual = WeightedResidual(s, cons)
+			return res, ContainmentError(stats, res.Cycles)
 		}
 		if res.RMSChange < opt.Tol {
 			res.Converged = true
 			break
+		}
+		// Divergence watchdog: K consecutive cycles of growing RMS change,
+		// compounding past the growth factor, mean the iteration is running
+		// away from any fixed point.
+		if res.RMSChange > prevRMS {
+			if grew == 0 {
+				streakBase = prevRMS
+			}
+			grew++
+		} else {
+			grew = 0
+		}
+		prevRMS = res.RMSChange
+		if opt.DivergeAfter > 0 && grew >= opt.DivergeAfter && res.RMSChange > DivergeGrowthFactor*streakBase {
+			res.Residual = WeightedResidual(s, cons)
+			return res, &solvererr.Diverged{Cycles: res.Cycles, Grew: grew, History: opt.Diag.RMSTrajectory()}
 		}
 	}
 	res.Residual = WeightedResidual(s, cons)

@@ -1,11 +1,13 @@
 package filter
 
 import (
-	"fmt"
+	"errors"
 	"math"
 
+	"phmse/internal/faultinject"
 	"phmse/internal/mat"
 	"phmse/internal/par"
+	"phmse/internal/solvererr"
 	"phmse/internal/trace"
 )
 
@@ -35,6 +37,30 @@ type Updater struct {
 	GateSigma float64
 	// Gated accumulates the number of scalar observations gated out.
 	Gated int
+	// Guard enables numerical fault containment: a failed factorization
+	// of the innovation covariance is retried with geometrically
+	// escalated measurement noise (bounded ridge), and ApplyAll snapshots
+	// the state before each batch so a batch that fails anyway — or
+	// produces NaN/Inf — is rolled back and quarantined for the rest of
+	// the cycle instead of aborting the solve. The convergence drivers
+	// enable it; the zero value keeps the raw fail-fast procedure of the
+	// paper (what the direct kernel benchmarks measure).
+	Guard bool
+	// Diag, when non-nil, accumulates containment diagnostics (ridge
+	// retries, rollbacks, quarantined batches).
+	Diag *Diagnostics
+	// Tag labels the solve for fault-injection sites (normally the
+	// problem name) and Node names the hierarchy node this updater works
+	// for ("" in flat mode).
+	Tag  string
+	Node string
+	// Cycle is the 1-based constraint-application cycle, set by the
+	// convergence drivers for diagnostics and injection sites.
+	Cycle int
+
+	// batchIdx is the index of the batch currently applied, maintained by
+	// ApplyAll for diagnostics and injection sites.
+	batchIdx int
 
 	// ws holds grown scratch buffers reused across batches — the Go
 	// counterpart of the paper's §5 observation that careful memory
@@ -53,6 +79,9 @@ type Updater struct {
 type workspace struct {
 	aBuf, haBuf, sBuf, kBuf, wBuf []float64
 	nu, dx                        []float64
+	// snapX/snapC hold the pre-batch state snapshot the guard rolls back
+	// to when a batch produces non-finite values.
+	snapX, snapC []float64
 }
 
 // matOf slices a zeroed r×c matrix out of a grown backing buffer.
@@ -163,21 +192,47 @@ func (u *Updater) Apply(s *State, b *Batch) (int, error) {
 	k := matOfDirty(&u.ws.kBuf, n, m)
 	dx := vecOf(&u.ws.dx, n)
 	lambda := 1.0
+	// Ridge recovery: when S fails to factor (indefinite under round-off,
+	// or a forced injection), the batch is retried with the measurement
+	// noise inflated ×ridgeFactor and a small absolute jitter added to the
+	// diagonal — the inflated-noise re-application move of the annealing
+	// literature. Escalation is bounded; a batch that stays indefinite is
+	// reported as a typed error for the caller to quarantine.
+	ridge, jitter := 1.0, 0.0
+	ridgeTries := 0
 	const maxRetries = 6
 	for try := 0; ; try++ {
-		// S = H·A + λ·R and its factorization.
+		// S = H·A + λ·ridge·R (+ jitter·I) and its factorization.
 		u.Rec.Timed(trace.VecOp, float64(m), func() {
 			sMat.CopyFrom(ha)
 			for i := 0; i < m; i++ {
-				sMat.Set(i, i, sMat.At(i, i)+lambda*asm.r[i])
+				sMat.Set(i, i, sMat.At(i, i)+lambda*ridge*asm.r[i]+jitter)
 			}
 		})
 		var cholErr error
-		u.Rec.Timed(trace.Chol, float64(m)*float64(m)*float64(m)/3, func() {
-			cholErr = mat.CholeskyPar(team, sMat)
-		})
+		if h := faultinject.Installed(); h != nil && h.Cholesky != nil && h.Cholesky(u.site()) {
+			cholErr = mat.ErrNotPositiveDefinite
+		} else {
+			u.Rec.Timed(trace.Chol, float64(m)*float64(m)*float64(m)/3, func() {
+				cholErr = mat.CholeskyPar(team, sMat)
+			})
+		}
 		if cholErr != nil {
-			return 0, fmt.Errorf("filter: innovation covariance (m=%d): %w", m, cholErr)
+			if u.Guard && ridgeTries < maxRidgeRetries {
+				ridgeTries++
+				ridge *= ridgeFactor
+				if jitter == 0 {
+					// Scale the absolute jitter to the system's magnitude so
+					// it moves the smallest eigenvalue meaningfully even when
+					// R itself is zero or tiny.
+					jitter = ridgeJitter * (1 + maxAbsDiag(ha))
+				} else {
+					jitter *= ridgeFactor
+				}
+				u.Diag.AddRidgeRetry()
+				continue
+			}
+			return 0, &solvererr.Indefinite{Node: u.Node, Batch: u.batchIdx, Dim: m, Retries: ridgeTries, Err: cholErr}
 		}
 		// Filter gain K = A·S⁻¹ via triangular solves on each state row.
 		u.Rec.Timed(trace.VecOp, float64(n*m), func() { k.CopyFrom(a) })
@@ -236,16 +291,100 @@ func wrapAngle(d float64) float64 {
 	return r
 }
 
+// Bounds of the ridge recovery: at most maxRidgeRetries re-factorizations
+// per batch, each inflating the measurement noise by ridgeFactor and the
+// absolute diagonal jitter by the same factor from a ridgeJitter-scaled
+// start.
+const (
+	maxRidgeRetries = 3
+	ridgeFactor     = 10.0
+	ridgeJitter     = 1e-8
+)
+
+// maxAbsDiag returns the largest |diagonal| entry of a square matrix.
+func maxAbsDiag(a *mat.Mat) float64 {
+	v := 0.0
+	for i := 0; i < a.Rows; i++ {
+		if d := math.Abs(a.At(i, i)); d > v {
+			v = d
+		}
+	}
+	return v
+}
+
+// site describes the updater's current position for fault injection.
+func (u *Updater) site() faultinject.Site {
+	return faultinject.Site{Tag: u.Tag, Node: u.Node, Batch: u.batchIdx, Cycle: u.Cycle}
+}
+
+// snapshot saves the state into the workspace; restore puts it back. The
+// guard brackets every batch with them so a poisoned update can be undone.
+func (u *Updater) snapshot(s *State) {
+	u.ws.snapX = append(u.ws.snapX[:0], s.X...)
+	u.ws.snapC = append(u.ws.snapC[:0], s.C.Data...)
+}
+
+func (u *Updater) restore(s *State) {
+	copy(s.X, u.ws.snapX)
+	copy(s.C.Data, u.ws.snapC)
+}
+
+// stateFinite reports whether every entry of x and C is finite. One pass
+// over O(n²) memory — small next to the O(n²m) covariance update.
+func stateFinite(s *State) bool {
+	for _, v := range s.X {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	for _, v := range s.C.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // ApplyAll applies every batch in order, returning the total number of
 // scalar observations applied.
+//
+// With Guard set, it additionally contains per-batch numerical faults: a
+// batch whose innovation covariance stays indefinite through every ridge
+// retry is skipped (quarantined) for this pass, and a batch that leaves
+// NaN/Inf in the state is rolled back to the pre-batch snapshot and
+// likewise quarantined. Both are recorded in Diag; quarantined batches are
+// retried at the next cycle's fresh linearization point. Errors other than
+// these containable classes still abort.
 func (u *Updater) ApplyAll(s *State, batches []*Batch) (int, error) {
 	total := 0
-	for _, b := range batches {
+	for bi, b := range batches {
+		u.batchIdx = bi
+		if u.Guard {
+			u.snapshot(s)
+		}
 		m, err := u.Apply(s, b)
 		if err != nil {
+			if u.Guard && errors.Is(err, solvererr.ErrIndefinite) {
+				// The factorization failed before x or C were touched, so
+				// there is nothing to roll back; exclude the batch from the
+				// rest of this pass.
+				u.Diag.AddQuarantine(u.Node, bi, u.Cycle, ReasonIndefinite)
+				continue
+			}
 			return total, err
 		}
+		if u.Guard {
+			if h := faultinject.Installed(); h != nil && h.Poison != nil && h.Poison(u.site()) {
+				s.X[0] = math.NaN()
+			}
+			if !stateFinite(s) {
+				u.restore(s)
+				u.Diag.AddQuarantine(u.Node, bi, u.Cycle, ReasonNonFinite)
+				continue
+			}
+		}
 		total += m
+		u.Diag.AddApplied(m)
 	}
 	return total, nil
 }

@@ -10,6 +10,7 @@ import (
 	"phmse/internal/geom"
 	"phmse/internal/mat"
 	"phmse/internal/par"
+	"phmse/internal/solvererr"
 	"phmse/internal/trace"
 )
 
@@ -51,6 +52,23 @@ type Options struct {
 	// OnCycle, when non-nil, is called after every completed cycle with the
 	// 1-based cycle number and the RMS coordinate change over that cycle.
 	OnCycle func(cycle int, rmsChange float64)
+	// Diag, when non-nil, is the shared containment-diagnostics sink
+	// (safe for the tree's parallel subtree updates); Solve creates one
+	// internally when nil, so Result.Diag is always populated.
+	Diag *filter.Diagnostics
+	// DivergeAfter is the divergence-watchdog patience (consecutive
+	// cycles of growing RMS change). Zero selects the default of 8;
+	// negative disables. See filter.SolveOptions.DivergeAfter.
+	DivergeAfter int
+	// NoGuard disables numerical fault containment (ridge retries,
+	// non-finite rollback, per-node batch quarantine).
+	NoGuard bool
+	// FaultTag labels the solve for fault-injection sites.
+	FaultTag string
+
+	// cycle is the 1-based cycle number the current UpdatePass runs
+	// under, maintained by Solve for diagnostics and injection sites.
+	cycle int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +88,13 @@ func (o Options) withDefaults() Options {
 		o.Team = par.NewTeam(1)
 	}
 	o.MaxStep = filter.NormalizeMaxStep(o.MaxStep)
+	o.DivergeAfter = filter.NormalizeDivergeAfter(o.DivergeAfter)
+	if o.Diag == nil {
+		o.Diag = &filter.Diagnostics{}
+	}
+	if o.cycle == 0 {
+		o.cycle = 1
+	}
 	return o
 }
 
@@ -78,6 +103,9 @@ type Result struct {
 	Cycles    int
 	Converged bool
 	RMSChange float64
+	// Diag is the containment-diagnostics sink of the run (never nil
+	// after Solve returns).
+	Diag *filter.Diagnostics
 }
 
 // Solve runs the hierarchical estimation to convergence: each cycle updates
@@ -106,7 +134,10 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 		opt.WarmVars = append([]float64(nil), opt.WarmVars...)
 	}
 	var state *filter.State
-	res := Result{}
+	res := Result{Diag: opt.Diag}
+	grew := 0
+	prevRMS := math.Inf(1)
+	streakBase := 0.0
 	for cycle := 0; cycle < opt.MaxCycles; cycle++ {
 		if opt.Ctx != nil {
 			if err := opt.Ctx.Err(); err != nil {
@@ -114,6 +145,8 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 			}
 		}
 		var err error
+		opt.cycle = cycle + 1
+		opt.Diag.BeginCycle()
 		state, err = UpdatePass(root, positions, opt)
 		if err != nil {
 			return nil, res, err
@@ -138,12 +171,31 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 				}
 			}
 		}
+		stats := opt.Diag.EndCycle(res.RMSChange)
 		if opt.OnCycle != nil {
 			opt.OnCycle(res.Cycles, res.RMSChange)
+		}
+		// No-progress policy: a pass whose every batch was quarantined
+		// across the whole tree cannot move the estimate.
+		if !opt.NoGuard && stats.Applied == 0 && stats.Quarantined > 0 {
+			return state, res, filter.ContainmentError(stats, res.Cycles)
 		}
 		if res.RMSChange < opt.Tol {
 			res.Converged = true
 			break
+		}
+		// Divergence watchdog, as in the flat driver.
+		if res.RMSChange > prevRMS {
+			if grew == 0 {
+				streakBase = prevRMS
+			}
+			grew++
+		} else {
+			grew = 0
+		}
+		prevRMS = res.RMSChange
+		if opt.DivergeAfter > 0 && grew >= opt.DivergeAfter && res.RMSChange > filter.DivergeGrowthFactor*streakBase {
+			return state, res, &solvererr.Diverged{Cycles: res.Cycles, Grew: grew, History: opt.Diag.RMSTrajectory()}
 		}
 	}
 	return state, res, nil
@@ -221,7 +273,10 @@ func updateNode(n *Node, positions []geom.Vec3, opt Options, team *par.Team) (*f
 	}
 
 	s := assemble(n, childStates, positions, opt)
-	u := &filter.Updater{Team: team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma}
+	u := &filter.Updater{
+		Team: team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma,
+		Guard: !opt.NoGuard, Diag: opt.Diag, Tag: opt.FaultTag, Node: n.Name, Cycle: opt.cycle,
+	}
 	if _, err := u.ApplyAll(s, n.batches); err != nil {
 		return nil, fmt.Errorf("node %q: %w", n.Name, err)
 	}

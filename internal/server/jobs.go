@@ -4,13 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"phmse/internal/core"
 	"phmse/internal/encode"
+	"phmse/internal/faultinject"
 	"phmse/internal/molecule"
+	"phmse/internal/solvererr"
 	"phmse/internal/trace"
 )
 
@@ -48,6 +52,9 @@ type job struct {
 	cycle         int
 	rmsChange     float64
 	errMsg        string
+	errCode       string
+	retries       int
+	flatFallback  bool
 	cacheHit      bool
 	posteriorKept bool
 	sol           *core.Solution
@@ -76,6 +83,9 @@ func (j *job) status() JobStatus {
 		PlanCacheHit:  j.cacheHit,
 		PosteriorKept: j.posteriorKept,
 		Error:         j.errMsg,
+		ErrorCode:     j.errCode,
+		Retries:       j.retries,
+		FlatFallback:  j.flatFallback,
 	}
 	if j.warm != nil {
 		st.WarmStartFrom = j.warm.jobID
@@ -107,10 +117,17 @@ func (j *job) setProgress(cycle int, rms float64) {
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state and wakes any waiters.
-func (j *job) finish(state JobState, errMsg string, sol *core.Solution) {
+// finish moves the job to a terminal state and wakes any waiters. errCode
+// classifies a failure machine-readably (one of the solvererr codes or
+// encode.CodeInternalError); empty for success.
+func (j *job) finish(state JobState, errCode, errMsg string, sol *core.Solution) {
 	j.mu.Lock()
+	if j.state.Terminal() { // already decided (e.g. cancelled while queued)
+		j.mu.Unlock()
+		return
+	}
 	j.state = state
+	j.errCode = errCode
 	j.errMsg = errMsg
 	j.sol = sol
 	j.finished = time.Now()
@@ -136,8 +153,11 @@ type manager struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
-	submitted atomic.Int64
-	rejected  atomic.Int64
+	submitted     atomic.Int64
+	rejected      atomic.Int64
+	retries       atomic.Int64
+	panics        atomic.Int64
+	flatFallbacks atomic.Int64
 }
 
 func newManager(cfg Config) *manager {
@@ -159,8 +179,22 @@ func newManager(cfg Config) *manager {
 func (m *manager) worker() {
 	defer m.wg.Done()
 	for j := range m.queue {
-		m.run(j)
+		m.runIsolated(j)
 	}
+}
+
+// runIsolated is the worker's last line of defense: a panic escaping the
+// per-attempt recovery (a bug in the job-driving code itself) fails the
+// job instead of killing the worker goroutine and leaking its queue slot.
+func (m *manager) runIsolated(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			log.Printf("phmsed: job %s: panic outside solve: %v\n%s", j.id, r, debug.Stack())
+			j.finish(StateFailed, encode.CodeInternalError, fmt.Sprintf("internal error: %v", r), nil)
+		}
+	}()
+	m.run(j)
 }
 
 // submit validates queue capacity and registers the job. The queue is
@@ -245,6 +279,7 @@ func (m *manager) requestCancel(id string) (*job, bool) {
 	switch j.state {
 	case StateQueued:
 		j.state = StateCancelled
+		j.errCode = solvererr.CodeCanceled
 		j.errMsg = "cancelled while queued"
 		j.finished = time.Now()
 		close(j.done)
@@ -257,11 +292,16 @@ func (m *manager) requestCancel(id string) (*job, bool) {
 	return j, true
 }
 
-// run executes one dequeued job end to end.
+// run executes one dequeued job end to end: an attempt loop with capped
+// exponential backoff for transient failures, one flat-organization
+// fallback when the hierarchical solve fails numerically, and a terminal
+// classification of whatever error survives.
 func (m *manager) run(j *job) {
 	ctx := context.Background()
 	var timeoutCancel context.CancelFunc
 	if ms := j.params.TimeoutMillis; ms > 0 {
+		// One budget across every attempt: retrying must not extend the
+		// job's wall-clock bound.
 		ctx, timeoutCancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
 		defer timeoutCancel()
 	}
@@ -278,7 +318,43 @@ func (m *manager) run(j *job) {
 	j.cancel = cancel
 	j.mu.Unlock()
 
-	sol, err := m.solve(ctx, j)
+	var sol *core.Solution
+	var err error
+	for attempt := 0; ; attempt++ {
+		sol, err = m.attempt(ctx, j, attempt, false)
+		if err == nil || attempt >= m.cfg.MaxRetries || !retryable(err) || ctx.Err() != nil {
+			break
+		}
+		m.retries.Add(1)
+		j.mu.Lock()
+		j.retries++
+		j.mu.Unlock()
+		delay := m.cfg.RetryBackoff << attempt
+		if max := 32 * m.cfg.RetryBackoff; delay > max {
+			delay = max
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+
+	// Graceful degradation: a hierarchical solve that keeps failing
+	// numerically gets one flat-organization attempt — the flat filter
+	// trades the hierarchy's speed for a better-conditioned update — before
+	// the job is declared failed.
+	if err != nil && solvererr.Transient(err) && ctx.Err() == nil && j.params.Mode != "flat" {
+		m.flatFallbacks.Add(1)
+		j.mu.Lock()
+		j.flatFallback = true
+		j.mu.Unlock()
+		if fsol, ferr := m.attempt(ctx, j, m.cfg.MaxRetries+1, true); ferr == nil {
+			sol, err = fsol, nil
+		}
+	}
+
 	switch {
 	case err == nil:
 		if j.params.KeepPosterior {
@@ -293,22 +369,68 @@ func (m *manager) run(j *job) {
 			j.posteriorKept = kept
 			j.mu.Unlock()
 		}
-		j.finish(StateDone, "", sol)
+		j.finish(StateDone, "", "", sol)
 	case errors.Is(err, context.Canceled):
-		j.finish(StateCancelled, "cancelled while running", nil)
+		j.finish(StateCancelled, solvererr.CodeCanceled, "cancelled while running", nil)
 	case errors.Is(err, context.DeadlineExceeded):
-		j.finish(StateFailed, fmt.Sprintf("timeout after %d ms", j.params.TimeoutMillis), nil)
+		j.finish(StateFailed, solvererr.CodeTimeout, fmt.Sprintf("timeout after %d ms", j.params.TimeoutMillis), nil)
 	default:
-		j.finish(StateFailed, err.Error(), nil)
+		j.finish(StateFailed, errCode(err), err.Error(), nil)
 	}
 }
 
+// panicError is a worker panic recovered during one solve attempt,
+// carrying the panic value so the job record can report it.
+type panicError struct {
+	val any
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("internal error: panic: %v", e.val) }
+
+// errCode maps a terminal job error onto its machine-readable class.
+func errCode(err error) string {
+	var pe *panicError
+	if errors.As(err, &pe) {
+		return encode.CodeInternalError
+	}
+	return solvererr.Code(err)
+}
+
+// retryable reports whether a failed attempt is worth re-running: transient
+// numerical failures can vanish at a different starting perturbation, and a
+// panic may be a data-dependent bug a retry sidesteps. Cancellation,
+// timeouts and malformed problems are final.
+func retryable(err error) bool {
+	var pe *panicError
+	return solvererr.Transient(err) || errors.As(err, &pe)
+}
+
+// attempt runs one solve attempt behind a recover barrier: a panic in the
+// solver surfaces as a *panicError with the daemon unharmed. The attempt
+// number perturbs the starting estimate's seed so a retry explores a
+// different basin instead of deterministically repeating the failure.
+func (m *manager) attempt(ctx context.Context, j *job, attempt int, flat bool) (sol *core.Solution, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.panics.Add(1)
+			log.Printf("phmsed: job %s attempt %d: recovered panic: %v\n%s", j.id, attempt, r, debug.Stack())
+			sol, err = nil, &panicError{val: r}
+		}
+	}()
+	if h := faultinject.Installed(); h != nil && h.BeforeAttempt != nil {
+		h.BeforeAttempt(j.problem.Name, attempt)
+	}
+	return m.solve(ctx, j, attempt, flat)
+}
+
 // solve builds the estimator (reusing cached planning artifacts when the
-// topology was seen before) and runs it under the job's context.
-func (m *manager) solve(ctx context.Context, j *job) (*core.Solution, error) {
+// topology was seen before) and runs it under the job's context. flat
+// forces the flat organization regardless of the requested mode (the
+// numerical-failure fallback path).
+func (m *manager) solve(ctx context.Context, j *job, attempt int, flat bool) (*core.Solution, error) {
 	params := j.params
 	mode := core.Hierarchical
-	if params.Mode == "flat" {
+	if flat || params.Mode == "flat" {
 		mode = core.Flat
 	}
 	// Per-job processor-team allocation: the request may ask for fewer
@@ -374,6 +496,9 @@ func (m *manager) solve(ctx context.Context, j *job) (*core.Solution, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	// Each retry perturbs from a different seed: a transient numerical
+	// failure tied to one starting estimate should not repeat verbatim.
+	seed += int64(attempt)
 	init := molecule.Perturbed(j.problem, perturb, seed)
 	return est.SolveContext(ctx, init)
 }

@@ -20,6 +20,8 @@
 //	                             full covariance matrix)
 //	POST /v1/jobs/{id}/cancel    cancel a queued or running job
 //	GET  /healthz                liveness (503 while draining)
+//	GET  /readyz                 readiness (503 while draining or when the
+//	                             job queue is saturated)
 //	GET  /metrics                expvar-style counters, JSON
 //
 // Failures return the structured error envelope
@@ -74,6 +76,15 @@ type Config struct {
 	// posteriors; least-recently-used posteriors are evicted beyond it
 	// (default 256 MiB; 0 keeps the default, negative disables retention).
 	PosteriorBytes int64
+	// MaxRetries is the number of automatic re-solve attempts after a
+	// transient failure (recoverable numerics or a recovered panic), on top
+	// of the first attempt (default 2; 0 keeps the default, negative
+	// disables retries).
+	MaxRetries int
+	// RetryBackoff is the base delay of the capped exponential backoff
+	// between attempts — attempt k waits RetryBackoff·2ᵏ, capped at 32×
+	// (default 100 ms).
+	RetryBackoff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +112,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PosteriorBytes == 0 {
 		c.PosteriorBytes = 256 << 20
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
 	}
 	return c
 }
@@ -131,6 +151,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -288,7 +309,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	doc := encode.NewSolutionDoc(j.problem.Name, sol.Positions, sol.Variances,
-		sol.Cycles, sol.Converged, sol.RMSChange, sol.Residual)
+		sol.Cycles, sol.Converged, sol.RMSChange, sol.Residual, sol.Diagnostics)
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -352,6 +373,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the load-balancer readiness probe: unlike /healthz
+// (liveness), it also refuses traffic while the job queue is saturated, so
+// a balancer stops routing submissions that would only bounce off 429s.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	depth := s.mgr.queueDepth()
+	body := map[string]any{"status": "ok", "queue_depth": depth, "queue_capacity": s.cfg.QueueDepth}
+	switch {
+	case s.mgr.isDraining():
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case depth >= s.cfg.QueueDepth:
+		body["status"] = "saturated"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
 // Metrics is the JSON document served at /metrics.
 type Metrics struct {
 	UptimeSeconds float64          `json:"uptime_seconds"`
@@ -375,6 +414,12 @@ type MetricsJobs struct {
 	Done      int   `json:"done"`
 	Failed    int   `json:"failed"`
 	Cancelled int   `json:"cancelled"`
+	// Retries counts automatic re-solve attempts after transient failures;
+	// Panics counts worker panics recovered without losing the daemon;
+	// FlatFallbacks counts hierarchical solves degraded to one flat attempt.
+	Retries       int64 `json:"retries"`
+	Panics        int64 `json:"panics"`
+	FlatFallbacks int64 `json:"flat_fallbacks"`
 }
 
 // MetricsQueue reports queue occupancy.
@@ -412,13 +457,16 @@ func (s *Server) Snapshot() Metrics {
 	m := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs: MetricsJobs{
-			Submitted: s.mgr.submitted.Load(),
-			Rejected:  s.mgr.rejected.Load(),
-			Queued:    counts[StateQueued],
-			Running:   counts[StateRunning],
-			Done:      counts[StateDone],
-			Failed:    counts[StateFailed],
-			Cancelled: counts[StateCancelled],
+			Submitted:     s.mgr.submitted.Load(),
+			Rejected:      s.mgr.rejected.Load(),
+			Queued:        counts[StateQueued],
+			Running:       counts[StateRunning],
+			Done:          counts[StateDone],
+			Failed:        counts[StateFailed],
+			Cancelled:     counts[StateCancelled],
+			Retries:       s.mgr.retries.Load(),
+			Panics:        s.mgr.panics.Load(),
+			FlatFallbacks: s.mgr.flatFallbacks.Load(),
 		},
 		Queue: MetricsQueue{
 			Depth:    s.mgr.queueDepth(),
