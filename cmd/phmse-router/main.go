@@ -1,0 +1,98 @@
+// Command phmse-router is the sharding tier for phmsed: a consistent-hash
+// HTTP router that spreads estimation jobs across N daemon instances while
+// keeping identical topologies — and warm-start re-solves — on the shard
+// whose plan cache and posterior store already hold them.
+//
+// Usage:
+//
+//	phmse-router -addr :8090 -shards http://localhost:8081,http://localhost:8082
+//
+// The router speaks the same v1 API as a single phmsed, so phmsectl and the
+// typed client point at it unchanged. Shard health is polled continuously;
+// dead shards leave the ring and are readmitted when they answer again.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"phmse/internal/router"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "listen address")
+		shards       = flag.String("shards", "", "comma-separated backend phmsed base URLs (required)")
+		vnodes       = flag.Int("vnodes", 64, "virtual nodes per shard on the hash ring")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "shard health-poll period")
+		probeTimeout = flag.Duration("probe-timeout", time.Second, "timeout for one health probe")
+		maxBackoff   = flag.Duration("max-probe-backoff", 30*time.Second, "cap on the probe backoff of an unreachable shard")
+		failAfter    = flag.Int("fail-after", 1, "consecutive failed probes before a shard leaves the ring")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "phmse-router: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	var bases []string
+	for _, s := range strings.Split(*shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			bases = append(bases, s)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "phmse-router: -shards is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rt, err := router.New(router.Config{
+		Shards:          bases,
+		VNodes:          *vnodes,
+		ProbeInterval:   *probeEvery,
+		ProbeTimeout:    *probeTimeout,
+		MaxProbeBackoff: *maxBackoff,
+		FailAfter:       *failAfter,
+	})
+	if err != nil {
+		log.Fatalf("phmse-router: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Settle the ring before accepting traffic so a shard that is down at
+	// startup never receives the first submissions.
+	probeCtx, cancel := context.WithTimeout(ctx, *probeTimeout+time.Second)
+	rt.CheckNow(probeCtx)
+	cancel()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: rt}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("phmse-router: serving on %s over %d shard(s)", *addr, len(bases))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("phmse-router: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("phmse-router: shutting down...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("phmse-router: http shutdown: %v", err)
+	}
+	rt.Close()
+	log.Printf("phmse-router: stopped")
+}

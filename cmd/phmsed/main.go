@@ -46,6 +46,8 @@ func main() {
 		postMB       = flag.Int64("posterior-mb", 256, "posterior store budget in MiB for warm starts (<= 0 disables)")
 		maxRetries   = flag.Int("max-retries", 2, "automatic re-solve attempts after a transient job failure (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
+		instance     = flag.String("instance", "", "stable instance name; qualifies job ids for shard routing (letters, digits, - and _)")
+		posteriorDir = flag.String("posterior-dir", "", "directory for posterior snapshots; reloaded on startup for warm starts across restarts")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -55,6 +57,11 @@ func main() {
 	}
 	if *workers < 0 || *procs < 0 || *queue < 1 || *maxRetries < 0 || *drainTimeout <= 0 {
 		fmt.Fprintln(os.Stderr, "phmsed: -workers and -procs must be >= 0, -queue >= 1, -max-retries >= 0, -drain-timeout > 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !validInstance(*instance) {
+		fmt.Fprintf(os.Stderr, "phmsed: -instance %q must use only letters, digits, - and _\n", *instance)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -74,6 +81,8 @@ func main() {
 		CacheSize:      *cacheSize,
 		PosteriorBytes: posteriorBytes,
 		MaxRetries:     retries,
+		InstanceID:     *instance,
+		PosteriorDir:   *posteriorDir,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -99,4 +108,17 @@ func main() {
 		log.Printf("phmsed: http shutdown: %v", err)
 	}
 	log.Printf("phmsed: stopped")
+}
+
+// validInstance accepts names safe to embed in job ids and snapshot file
+// names. The empty name is valid: it disables shard qualification.
+func validInstance(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }

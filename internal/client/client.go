@@ -71,11 +71,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// delay computes the backoff before retry number retryIdx (0-based): the
+// Delay computes the backoff before retry number retryIdx (0-based): the
 // capped exponential step, jittered over [d/2, 3d/2) so synchronized
 // clients spread out, and floored by the server's Retry-After when the
-// last rejection carried one.
-func (p RetryPolicy) delay(retryIdx int, last error) time.Duration {
+// last rejection carried one. Exported so the routing tier can reuse the
+// same backoff shape for forwarded requests.
+func (p RetryPolicy) Delay(retryIdx int, last error) time.Duration {
 	d := p.BaseDelay << retryIdx
 	if d > p.MaxDelay || d <= 0 {
 		d = p.MaxDelay
@@ -106,6 +107,44 @@ func New(base string, opts ...Option) *Client {
 		o(c)
 	}
 	return c
+}
+
+// Base returns the base URL the client targets — useful when a test or
+// router holds one client per shard and needs to map responses back to
+// backends.
+func (c *Client) Base() string { return c.base }
+
+// Health fetches /healthz and reports whether the daemon declared itself
+// live. The document carries the instance identity when the daemon runs
+// as a shard (-instance); a 503 (draining) returns ok=false with the
+// decoded document and a nil error — only transport and decoding failures
+// error.
+func (c *Client) Health(ctx context.Context) (encode.HealthStatus, bool, error) {
+	return c.health(ctx, "/healthz")
+}
+
+// Ready fetches /readyz, the readiness probe: ok=false when the daemon is
+// draining or its job queue is saturated, with queue occupancy in the
+// document either way.
+func (c *Client) Ready(ctx context.Context) (encode.HealthStatus, bool, error) {
+	return c.health(ctx, "/readyz")
+}
+
+func (c *Client) health(ctx context.Context, path string) (encode.HealthStatus, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return encode.HealthStatus{}, false, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return encode.HealthStatus{}, false, fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	var st encode.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return encode.HealthStatus{}, false, fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return st, resp.StatusCode == http.StatusOK, nil
 }
 
 // APIError is a non-2xx response decoded from the v1 error envelope.
@@ -164,7 +203,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	var last error
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			t := time.NewTimer(c.retry.delay(attempt-1, last))
+			t := time.NewTimer(c.retry.Delay(attempt-1, last))
 			select {
 			case <-t.C:
 			case <-ctx.Done():
@@ -375,7 +414,7 @@ func (c *Client) WaitRetry(ctx context.Context, id string, poll time.Duration, s
 			if failures >= pol.MaxAttempts {
 				return encode.JobStatus{}, fmt.Errorf("client: waiting for job %s: %d consecutive poll failures: %w", id, failures, err)
 			}
-			bt := time.NewTimer(pol.delay(failures-1, err))
+			bt := time.NewTimer(pol.Delay(failures-1, err))
 			select {
 			case <-bt.C:
 			case <-ctx.Done():

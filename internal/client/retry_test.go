@@ -187,12 +187,12 @@ func TestWaitRetryStopsOnPermanentError(t *testing.T) {
 func TestRetryPolicyDelay(t *testing.T) {
 	p := RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}.withDefaults()
 	for idx := 0; idx < 12; idx++ {
-		d := p.delay(idx, nil)
+		d := p.Delay(idx, nil)
 		if d < 5*time.Millisecond || d >= 120*time.Millisecond {
 			t.Fatalf("delay(%d) = %v outside [base/2, 1.5*max)", idx, d)
 		}
 	}
-	floored := p.delay(0, &APIError{HTTPStatus: 429, Code: encode.CodeQueueFull, RetryAfter: time.Second})
+	floored := p.Delay(0, &APIError{HTTPStatus: 429, Code: encode.CodeQueueFull, RetryAfter: time.Second})
 	if floored < time.Second {
 		t.Fatalf("delay with Retry-After 1s = %v, want >= 1s", floored)
 	}

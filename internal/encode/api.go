@@ -105,6 +105,9 @@ const (
 	// CodeTopologyMismatch: a warm_start reference names a posterior whose
 	// molecule does not match the submitted problem (HTTP 409).
 	CodeTopologyMismatch = "topology_mismatch"
+	// CodeNoShard: the routing tier has no healthy shard able to serve the
+	// request (HTTP 503). Emitted by phmse-router, never by phmsed itself.
+	CodeNoShard = "no_shard"
 	// CodeInternal: an unexpected server-side failure (HTTP 5xx).
 	CodeInternal = "internal"
 	// CodeInternalError: a worker panic was recovered while solving the
@@ -112,6 +115,23 @@ const (
 	// JobStatus.ErrorCode, not as an HTTP envelope code.
 	CodeInternalError = "internal_error"
 )
+
+// HealthStatus is the body of GET /healthz and GET /readyz. The liveness
+// probe reports only Status (plus the instance identity); the readiness
+// probe adds queue occupancy so a balancer or router can see saturation
+// coming.
+type HealthStatus struct {
+	// Status is "ok", "draining", or (readyz only) "saturated".
+	Status string `json:"status"`
+	// InstanceID identifies the daemon behind the response when it was
+	// started with an instance identity (-instance) — the routing tier
+	// learns its shard table from this field.
+	InstanceID string `json:"instance_id,omitempty"`
+	// QueueDepth and QueueCapacity report job-queue occupancy (readyz
+	// only; omitted when zero).
+	QueueDepth    int `json:"queue_depth,omitempty"`
+	QueueCapacity int `json:"queue_capacity,omitempty"`
+}
 
 // ErrorBody is the payload of the v1 error envelope.
 type ErrorBody struct {

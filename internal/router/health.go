@@ -1,0 +1,146 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+// Shard health tracking. Each backend is polled on two probes: /healthz
+// decides liveness (and teaches the router the shard's instance id, the
+// key of the job-routing table) and /readyz decides ring membership — a
+// draining or saturated daemon leaves the ring so new submissions stop
+// landing on it, while its job records stay reachable through the
+// broadcast path as long as it is alive. Unreachable shards are probed on
+// a capped exponential backoff; a single successful probe readmits.
+
+// probeLoop drives the periodic sweep until Close.
+func (rt *Router) probeLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.sweep(context.Background(), false)
+		}
+	}
+}
+
+// CheckNow synchronously probes every shard once, ignoring backoff
+// schedules — startup and tests use it to settle the ring without waiting
+// out a probe interval.
+func (rt *Router) CheckNow(ctx context.Context) {
+	rt.sweep(ctx, true)
+}
+
+// sweep probes the shards that are due (all of them when force is set),
+// concurrently so one black-holed backend cannot stall the others.
+func (rt *Router) sweep(ctx context.Context, force bool) {
+	now := time.Now()
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		sh.mu.Lock()
+		due := force || !now.Before(sh.nextProbe)
+		sh.mu.Unlock()
+		if !due {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			rt.probeShard(ctx, sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// probeShard polls one backend and applies the health transition. A dead
+// shard (healthz unreachable or non-200) accrues consecutive failures:
+// after FailAfter of them it is ejected, and its probes back off
+// exponentially up to MaxProbeBackoff. An alive shard that is not ready
+// (draining or saturated) leaves the ring but keeps the normal probe
+// cadence — saturation clears quickly, so readmission must too.
+func (rt *Router) probeShard(ctx context.Context, sh *shard) {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	var hs encode.HealthStatus
+	alive := rt.probeGet(pctx, sh, "/healthz", &hs)
+	ready := false
+	if alive {
+		var rs encode.HealthStatus
+		ready = rt.probeGet(pctx, sh, "/readyz", &rs)
+	}
+	if hs.InstanceID != "" {
+		rt.learnInstance(hs.InstanceID, sh)
+	}
+
+	now := time.Now()
+	sh.mu.Lock()
+	wasReady := sh.ready
+	sh.alive = alive
+	switch {
+	case alive && ready:
+		sh.ready = true
+		sh.consecFails = 0
+		sh.nextProbe = now.Add(rt.cfg.ProbeInterval)
+	case alive: // draining or saturated: out of the ring, normal cadence
+		sh.ready = false
+		sh.consecFails = 0
+		sh.nextProbe = now.Add(rt.cfg.ProbeInterval)
+	default:
+		sh.consecFails++
+		if sh.consecFails >= rt.cfg.FailAfter {
+			sh.ready = false
+		}
+		backoff := rt.cfg.ProbeInterval
+		for i := 1; i < sh.consecFails && backoff < rt.cfg.MaxProbeBackoff; i++ {
+			backoff *= 2
+		}
+		if backoff > rt.cfg.MaxProbeBackoff {
+			backoff = rt.cfg.MaxProbeBackoff
+		}
+		sh.nextProbe = now.Add(backoff)
+	}
+	changed := sh.ready != wasReady
+	sh.mu.Unlock()
+	if changed {
+		rt.rebuildRing()
+	}
+}
+
+// probeGet fetches one health endpoint, best-effort decoding the document.
+func (rt *Router) probeGet(ctx context.Context, sh *shard, path string, out *encode.HealthStatus) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+path, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	json.NewDecoder(resp.Body).Decode(out) //nolint:errcheck
+	return resp.StatusCode == http.StatusOK
+}
+
+// eject drops a shard from the ring after a forwarding transport failure,
+// without waiting for the next probe; the probe loop readmits it once it
+// answers again.
+func (rt *Router) eject(sh *shard) {
+	sh.mu.Lock()
+	changed := sh.ready || sh.alive
+	sh.ready = false
+	sh.alive = false
+	sh.consecFails++
+	sh.mu.Unlock()
+	if changed {
+		rt.rebuildRing()
+	}
+}

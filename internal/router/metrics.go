@@ -1,0 +1,78 @@
+package router
+
+import (
+	"net/http"
+	"time"
+)
+
+// Metrics is the JSON document served at the router's /metrics.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// RingShards is the number of shards currently in the ring (ready);
+	// UnhealthyShards counts configured shards outside it.
+	RingShards      int `json:"ring_shards"`
+	UnhealthyShards int `json:"unhealthy_shards"`
+	VNodesPerShard  int `json:"vnodes_per_shard"`
+	// Totals across all shards.
+	Forwarded int64 `json:"forwarded"`
+	Failed    int64 `json:"failed"`
+	Retried   int64 `json:"retried"`
+	// NoShard counts requests refused because no shard could serve them;
+	// ListFanouts counts cross-shard listing merges.
+	NoShard     int64          `json:"no_shard"`
+	ListFanouts int64          `json:"list_fanouts"`
+	Shards      []ShardMetrics `json:"shards"`
+}
+
+// ShardMetrics is one backend's routing state and forwarding counters.
+type ShardMetrics struct {
+	Base       string `json:"base"`
+	InstanceID string `json:"instance_id,omitempty"`
+	Alive      bool   `json:"alive"`
+	Ready      bool   `json:"ready"`
+	// ConsecutiveFailures is the current probe-failure streak driving the
+	// capped backoff (0 for a healthy shard).
+	ConsecutiveFailures int   `json:"consecutive_failures,omitempty"`
+	Forwarded           int64 `json:"forwarded"`
+	Failed              int64 `json:"failed"`
+	Retried             int64 `json:"retried"`
+}
+
+// Snapshot assembles the current metrics document.
+func (rt *Router) Snapshot() Metrics {
+	m := Metrics{
+		UptimeSeconds:  time.Since(rt.start).Seconds(),
+		VNodesPerShard: rt.cfg.VNodes,
+		Forwarded:      rt.forwarded.Load(),
+		Failed:         rt.failed.Load(),
+		Retried:        rt.retried.Load(),
+		NoShard:        rt.noShard.Load(),
+		ListFanouts:    rt.listFanouts.Load(),
+	}
+	for _, sh := range rt.shards {
+		sh.mu.Lock()
+		sm := ShardMetrics{
+			Base:                sh.base,
+			InstanceID:          sh.instance,
+			Alive:               sh.alive,
+			Ready:               sh.ready,
+			ConsecutiveFailures: sh.consecFails,
+			Forwarded:           sh.forwarded.Load(),
+			Failed:              sh.failed.Load(),
+			Retried:             sh.retried.Load(),
+		}
+		ready := sh.ready
+		sh.mu.Unlock()
+		if ready {
+			m.RingShards++
+		} else {
+			m.UnhealthyShards++
+		}
+		m.Shards = append(m.Shards, sm)
+	}
+	return m
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Snapshot())
+}

@@ -1,0 +1,103 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testShards(names ...string) []*shard {
+	out := make([]*shard, len(names))
+	for i, n := range names {
+		out[i] = &shard{name: n, base: n}
+	}
+	return out
+}
+
+func TestRingLookupDeterministic(t *testing.T) {
+	shards := testShards("http://a", "http://b", "http://c")
+	r1 := buildRing(shards, 64)
+	r2 := buildRing(shards, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("topo-%d", i)
+		if got, want := r1.lookup(key), r2.lookup(key); got != want {
+			t.Fatalf("key %q: lookup differs across identical rings: %s vs %s", key, got.name, want.name)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	shards := testShards("http://a", "http://b", "http://c")
+	r := buildRing(shards, 64)
+	counts := map[*shard]int{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		counts[r.lookup(fmt.Sprintf("topo-%d", i))]++
+	}
+	if len(counts) != len(shards) {
+		t.Fatalf("only %d of %d shards received keys", len(counts), len(shards))
+	}
+	// With 64 vnodes per shard the split should be roughly even; require
+	// every shard to hold at least half its fair share.
+	for sh, n := range counts {
+		if n < keys/len(shards)/2 {
+			t.Errorf("shard %s underloaded: %d of %d keys", sh.name, n, keys)
+		}
+	}
+}
+
+// TestRingMembershipStability checks the consistent-hashing contract:
+// removing one shard remaps only the keys that shard owned.
+func TestRingMembershipStability(t *testing.T) {
+	shards := testShards("http://a", "http://b", "http://c")
+	full := buildRing(shards, 64)
+	without := buildRing(shards[:2], 64) // drop http://c
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("topo-%d", i)
+		before, after := full.lookup(key), without.lookup(key)
+		if before == shards[2] {
+			if after == shards[2] {
+				t.Fatalf("key %q still routed to removed shard", key)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed shard were remapped", moved)
+	}
+}
+
+func TestRingReplicasDistinct(t *testing.T) {
+	shards := testShards("http://a", "http://b", "http://c")
+	r := buildRing(shards, 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("topo-%d", i)
+		reps := r.replicas(key, len(shards))
+		if len(reps) != len(shards) {
+			t.Fatalf("key %q: want %d replicas, got %d", key, len(shards), len(reps))
+		}
+		if reps[0] != r.lookup(key) {
+			t.Fatalf("key %q: first replica is not the ring owner", key)
+		}
+		seen := map[*shard]bool{}
+		for _, sh := range reps {
+			if seen[sh] {
+				t.Fatalf("key %q: duplicate replica %s", key, sh.name)
+			}
+			seen[sh] = true
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, 64)
+	if r.lookup("anything") != nil {
+		t.Fatal("empty ring returned a shard")
+	}
+	if got := r.replicas("anything", 3); got != nil {
+		t.Fatalf("empty ring returned replicas: %v", got)
+	}
+}

@@ -1,0 +1,511 @@
+// Package router implements phmse-router, the consistent-hash sharding
+// tier that scales phmsed horizontally: a thin HTTP layer fronting N
+// daemon instances. It mirrors the paper's inter-node parallel axis —
+// disjoint subtrees solved on disjoint processors — lifted one level up:
+// disjoint topologies served by disjoint daemons.
+//
+// Routing rules:
+//
+//   - POST /v1/solve hashes the problem's topology (encode.TopologyHash)
+//     onto a consistent-hash ring of healthy shards, so identical
+//     topologies always land on the same shard and its plan cache and
+//     posterior store stay hot. Warm-started submissions instead follow
+//     the referenced job id's instance qualifier to the shard retaining
+//     the posterior.
+//   - Job endpoints (/v1/jobs/{id}[...]) follow the id's instance
+//     qualifier; ids the router cannot attribute are broadcast to the
+//     live shards (exactly one shard owns any real job).
+//   - GET /v1/jobs fans out to every live shard and merges the pages in
+//     submission-time order, with a composite cursor that preserves each
+//     shard's own pagination position.
+//
+// Shard health is tracked by polling each backend's /healthz (liveness +
+// instance identity) and /readyz (accepting work), with automatic ring
+// ejection and readmission and capped-backoff probing; a forwarding
+// transport failure ejects the shard immediately rather than waiting for
+// the next probe. Forwarding keeps the client.RetryPolicy semantics:
+// backpressure responses pass through with Retry-After intact, transport
+// failures and 5xx responses are retried (and failed over) only where a
+// replay is safe. When no shard can serve a request the router answers
+// 503 with the structured error envelope (code no_shard).
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phmse/internal/client"
+	"phmse/internal/encode"
+)
+
+// maxRequestBody bounds a forwarded solve request body, matching the
+// daemon's own limit.
+const maxRequestBody = 64 << 20
+
+// Config sizes the router. The zero value of every field selects a
+// default; Shards is required.
+type Config struct {
+	// Shards are the backend phmsed base URLs (e.g. "http://host:8080").
+	Shards []string
+	// VNodes is the number of virtual nodes each shard contributes to the
+	// ring (default 64): more vnodes smooth the key distribution at the
+	// cost of a larger ring.
+	VNodes int
+	// ProbeInterval is the per-shard health-poll period (default 2s).
+	ProbeInterval time.Duration
+	// MaxProbeBackoff caps the exponential probe backoff of an unreachable
+	// shard (default 30s).
+	MaxProbeBackoff time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// FailAfter is the number of consecutive failed probes that eject a
+	// shard from the ring (default 1). Forwarding transport failures eject
+	// immediately regardless.
+	FailAfter int
+	// Retry shapes forwarded-request retries with client.RetryPolicy
+	// semantics: transport failures and 5xx responses are retried for
+	// idempotent GETs only, with jittered exponential backoff.
+	Retry client.RetryPolicy
+	// HTTPClient overrides the forwarding/probing client.
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.MaxProbeBackoff <= 0 {
+		c.MaxProbeBackoff = 30 * time.Second
+	}
+	if c.MaxProbeBackoff < c.ProbeInterval {
+		c.MaxProbeBackoff = c.ProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 1
+	}
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry.MaxAttempts = 3
+	}
+	if c.Retry.BaseDelay <= 0 {
+		c.Retry.BaseDelay = 25 * time.Millisecond
+	}
+	if c.Retry.MaxDelay <= 0 {
+		c.Retry.MaxDelay = time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// shard is one backend daemon and its routing state. name (the base URL)
+// is the stable ring identity; instance is the daemon's self-reported id,
+// learned from health probes and response headers, which maps
+// shard-qualified job ids back to their owner.
+type shard struct {
+	name string
+	base string
+
+	mu          sync.Mutex
+	alive       bool // /healthz answered 200 at last contact
+	ready       bool // /readyz answered 200: in the ring
+	instance    string
+	consecFails int
+	nextProbe   time.Time
+
+	forwarded, failed, retried atomic.Int64
+}
+
+func (sh *shard) isAlive() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.alive
+}
+
+// Router is the phmse-router HTTP handler plus its health prober. Create
+// with New; call Close to stop probing.
+type Router struct {
+	cfg   Config
+	mux   *http.ServeMux
+	hc    *http.Client
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu         sync.RWMutex
+	shards     []*shard
+	byInstance map[string]*shard
+	ring       *ring
+
+	forwarded, failed, retried atomic.Int64
+	noShard, listFanouts       atomic.Int64
+}
+
+// New builds a router over the configured shards and starts its health
+// prober. Shards start optimistically in the ring; the first failed probe
+// or forward ejects the dead ones.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("router: no shards configured")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		hc:         cfg.HTTPClient,
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		byInstance: make(map[string]*shard),
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	for _, base := range cfg.Shards {
+		base = strings.TrimRight(base, "/")
+		if base == "" || seen[base] {
+			return nil, fmt.Errorf("router: empty or duplicate shard %q", base)
+		}
+		seen[base] = true
+		rt.shards = append(rt.shards, &shard{name: base, base: base, alive: true, ready: true})
+	}
+	rt.rebuildRing()
+
+	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	rt.mux.HandleFunc("GET /v1/jobs", rt.handleList)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/posterior", rt.handleJob)
+	rt.mux.HandleFunc("POST /v1/jobs/{id}/cancel", rt.handleJob)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Close stops the health prober. In-flight forwards are unaffected.
+func (rt *Router) Close() {
+	select {
+	case <-rt.stop:
+	default:
+		close(rt.stop)
+	}
+	<-rt.done
+}
+
+// rebuildRing reassembles the ring from the currently ready shards.
+func (rt *Router) rebuildRing() {
+	ready := make([]*shard, 0, len(rt.shards))
+	for _, sh := range rt.shards {
+		sh.mu.Lock()
+		if sh.ready {
+			ready = append(ready, sh)
+		}
+		sh.mu.Unlock()
+	}
+	r := buildRing(ready, rt.cfg.VNodes)
+	rt.mu.Lock()
+	rt.ring = r
+	rt.mu.Unlock()
+}
+
+// replicasFor returns the failover order of a routing key: every ready
+// shard, nearest ring arc first.
+func (rt *Router) replicasFor(key string) []*shard {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.replicas(key, len(rt.shards))
+}
+
+// shardForJob maps a shard-qualified job id to the shard whose instance
+// minted it, nil when the id is unqualified or the instance is unknown.
+func (rt *Router) shardForJob(id string) *shard {
+	instance := encode.JobInstance(id)
+	if instance == "" {
+		return nil
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.byInstance[instance]
+}
+
+// learnInstance records a shard's self-reported instance id, keeping the
+// instance → shard table current across restarts that change identity.
+func (rt *Router) learnInstance(instance string, sh *shard) {
+	sh.mu.Lock()
+	old := sh.instance
+	sh.instance = instance
+	sh.mu.Unlock()
+	if old == instance {
+		return
+	}
+	rt.mu.Lock()
+	if old != "" && rt.byInstance[old] == sh {
+		delete(rt.byInstance, old)
+	}
+	rt.byInstance[instance] = sh
+	rt.mu.Unlock()
+}
+
+func writeError(w http.ResponseWriter, httpStatus int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(encode.ErrorEnvelope{Error: encode.ErrorBody{Code: code, Message: message}}) //nolint:errcheck
+}
+
+func (rt *Router) writeNoShard(w http.ResponseWriter) {
+	rt.noShard.Add(1)
+	writeError(w, http.StatusServiceUnavailable, encode.CodeNoShard, "no healthy shard available")
+}
+
+// send issues one forwarded request to a shard.
+func (rt *Router) send(r *http.Request, sh *shard, method, pathq string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), method, sh.base+pathq, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return rt.hc.Do(req)
+}
+
+// relay copies a backend response to the caller — status, the headers the
+// v1 API defines, and the body — and opportunistically learns the shard's
+// instance identity from the response header.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, sh *shard) {
+	defer resp.Body.Close()
+	if instance := resp.Header.Get("X-Phmsed-Instance"); instance != "" {
+		rt.learnInstance(instance, sh)
+	}
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Phmsed-Instance"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck
+	rt.forwarded.Add(1)
+	sh.forwarded.Add(1)
+}
+
+// discard drains and closes a response the router decided not to relay.
+func discard(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+}
+
+// dialFailure reports whether a transport error happened before the
+// request left the router (the dial itself failed), which makes a replay
+// safe even for non-idempotent methods: no backend saw a byte of it.
+func dialFailure(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
+// forwardTo relays a request to one specific shard under the retry
+// policy. Idempotent GETs retry through transport failures and 5xx
+// responses; other methods get exactly one attempt — a connection cut
+// mid-POST may have already enqueued the job, and replaying it would
+// duplicate work. A transport failure ejects the shard from the ring
+// immediately (the probe loop readmits it when it recovers). Reports
+// whether a response was relayed.
+func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, sh *shard, pathq string, body []byte) bool {
+	attempts := 1
+	if r.Method == http.MethodGet {
+		attempts = rt.cfg.Retry.MaxAttempts
+	}
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			rt.retried.Add(1)
+			sh.retried.Add(1)
+			select {
+			case <-time.After(rt.cfg.Retry.Delay(i-1, nil)):
+			case <-r.Context().Done():
+				return false
+			}
+		}
+		resp, err := rt.send(r, sh, r.Method, pathq, body)
+		if err != nil {
+			rt.failed.Add(1)
+			sh.failed.Add(1)
+			rt.eject(sh)
+			continue
+		}
+		if resp.StatusCode >= 500 && r.Method == http.MethodGet && i+1 < attempts {
+			discard(resp)
+			continue
+		}
+		rt.relay(w, resp, sh)
+		return true
+	}
+	return false
+}
+
+// handleSolve routes a submission: parse once to extract the routing
+// decision, then forward the raw body unchanged.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest, "reading request: "+err.Error())
+		return
+	}
+	key, warmRef, err := encode.SolveRouting(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest, err.Error())
+		return
+	}
+
+	// Warm-started submissions must land on the shard retaining the
+	// referenced posterior — the job id's instance qualifier names it.
+	// An unqualified or unknown reference falls through to ring routing:
+	// identical topologies route to the posterior's shard anyway, and a
+	// wrong shard answers an honest 404/409.
+	if warmRef != nil {
+		if sh := rt.shardForJob(warmRef.Job); sh != nil {
+			if !rt.forwardTo(w, r, sh, "/v1/solve", body) {
+				rt.writeNoShard(w)
+			}
+			return
+		}
+	}
+
+	// Ring replicas are the failover order. A POST fails over only on dial
+	// failures — the request never left, so no shard could have enqueued
+	// it; any later transport error is ambiguous and surfaces as 502.
+	// Backend responses (including 429 backpressure with its Retry-After)
+	// relay verbatim: the client's own RetryPolicy honours them.
+	for _, sh := range rt.replicasFor(key) {
+		resp, err := rt.send(r, sh, http.MethodPost, "/v1/solve", body)
+		if err != nil {
+			rt.failed.Add(1)
+			sh.failed.Add(1)
+			rt.eject(sh)
+			if dialFailure(err) {
+				rt.retried.Add(1)
+				sh.retried.Add(1)
+				continue
+			}
+			writeError(w, http.StatusBadGateway, encode.CodeInternal,
+				fmt.Sprintf("forwarding solve to %s: %v", sh.name, err))
+			return
+		}
+		rt.relay(w, resp, sh)
+		return
+	}
+	rt.writeNoShard(w)
+}
+
+// handleJob forwards a job-targeted request to its owning shard. Ids the
+// router cannot attribute (unqualified, or an instance not yet learned)
+// are broadcast to the live shards: exactly one shard owns any real job,
+// everyone else answers 404.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	pathq := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathq += "?" + r.URL.RawQuery
+	}
+	if sh := rt.shardForJob(r.PathValue("id")); sh != nil {
+		if !rt.forwardTo(w, r, sh, pathq, nil) {
+			rt.writeNoShard(w)
+		}
+		return
+	}
+	sawNotFound := false
+	for _, sh := range rt.shards {
+		if !sh.isAlive() {
+			continue
+		}
+		resp, err := rt.send(r, sh, r.Method, pathq, nil)
+		if err != nil {
+			rt.failed.Add(1)
+			sh.failed.Add(1)
+			rt.eject(sh)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			sawNotFound = true
+			discard(resp)
+			continue
+		}
+		rt.relay(w, resp, sh)
+		return
+	}
+	if sawNotFound {
+		writeError(w, http.StatusNotFound, encode.CodeNotFound, "unknown job")
+		return
+	}
+	rt.writeNoShard(w)
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	total, ready := rt.shardCounts()
+	writeJSON(w, http.StatusOK, RouterHealth{Status: "ok", Shards: total, ReadyShards: ready})
+}
+
+// handleReady reports whether the router can currently place new work:
+// at least one shard in the ring.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	total, ready := rt.shardCounts()
+	body := RouterHealth{Status: "ok", Shards: total, ReadyShards: ready}
+	if ready == 0 {
+		body.Status = "no_shard"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// RouterHealth is the body of the router's /healthz and /readyz.
+type RouterHealth struct {
+	Status      string `json:"status"`
+	Shards      int    `json:"shards"`
+	ReadyShards int    `json:"ready_shards"`
+}
+
+func (rt *Router) shardCounts() (total, ready int) {
+	total = len(rt.shards)
+	for _, sh := range rt.shards {
+		sh.mu.Lock()
+		if sh.ready {
+			ready++
+		}
+		sh.mu.Unlock()
+	}
+	return total, ready
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v) //nolint:errcheck
+}

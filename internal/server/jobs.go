@@ -164,7 +164,7 @@ func newManager(cfg Config) *manager {
 	m := &manager{
 		cfg:        cfg,
 		cache:      newPlanCache(cfg.CacheSize),
-		posteriors: newPosteriorStore(cfg.PosteriorBytes),
+		posteriors: newPosteriorStore(cfg.PosteriorBytes, cfg.PosteriorDir),
 		rec:        &trace.Collector{},
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -209,8 +209,11 @@ func (m *manager) submit(p *molecule.Problem, params encode.SolveParams, warm *s
 		return nil, ErrDraining
 	}
 	m.nextID++
+	// Shard-qualified ids keep the zero-padded per-instance ordering that
+	// "after" pagination relies on, while letting the routing tier map any
+	// id back to its owning shard.
 	j := &job{
-		id:        fmt.Sprintf("job-%06d", m.nextID),
+		id:        encode.QualifyJob(m.cfg.InstanceID, fmt.Sprintf("job-%06d", m.nextID)),
 		problem:   p,
 		params:    params,
 		warm:      warm,

@@ -2,9 +2,19 @@ package server
 
 import (
 	"container/list"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"phmse/internal/core"
+	"phmse/internal/encode"
 )
 
 // storedPosterior is one retained job posterior plus the identity needed
@@ -28,31 +38,66 @@ type storedPosterior struct {
 // full covariance — 8·(3n)² bytes per problem — so the store accounts
 // bytes, not entries, and evicts least-recently-used posteriors until the
 // budget is respected.
+//
+// With a snapshot directory the store is also disk-backed: every admitted
+// posterior is written as an encode.PosteriorDoc JSON snapshot, evictions
+// remove their snapshots, and a fresh store reloads whatever a previous
+// process left behind (within the byte budget) — so retained posteriors
+// survive daemon restarts.
 type posteriorStore struct {
 	mu       sync.Mutex
 	maxBytes int64
 	bytes    int64
+	dir      string     // "" disables persistence
 	order    *list.List // front = most recently used; values are *storedPosterior
 	entries  map[string]*list.Element
 
 	hits, misses, stored, rejected, evicted int64
+	persisted, loaded                       int64
 }
 
-func newPosteriorStore(maxBytes int64) *posteriorStore {
-	return &posteriorStore{
+func newPosteriorStore(maxBytes int64, dir string) *posteriorStore {
+	ps := &posteriorStore{
 		maxBytes: maxBytes,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
 	}
+	if dir != "" && maxBytes > 0 {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Printf("phmsed: posterior dir %s: %v (persistence disabled)", dir, err)
+		} else {
+			ps.dir = dir
+			ps.loadFromDisk()
+		}
+	}
+	return ps
 }
 
-// put admits a posterior, evicting least-recently-used entries as needed.
-// It reports whether the posterior was retained: one larger than the whole
-// budget (or a disabled store) is rejected outright.
+// put admits a posterior, evicting least-recently-used entries as needed,
+// and snapshots it to disk when the store is disk-backed. It reports
+// whether the posterior was retained: one larger than the whole budget (or
+// a disabled store) is rejected outright.
 func (ps *posteriorStore) put(sp *storedPosterior) bool {
 	sp.bytes = sp.post.Bytes()
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
+	if !ps.insertLocked(sp) {
+		return false
+	}
+	if ps.dir != "" {
+		if err := ps.writeSnapshot(sp); err != nil {
+			log.Printf("phmsed: persisting posterior of %s: %v", sp.jobID, err)
+		} else {
+			ps.persisted++
+		}
+	}
+	return true
+}
+
+// insertLocked runs the in-memory LRU admission: reject oversized entries,
+// replace a same-id entry, and evict least-recently-used posteriors (and
+// their snapshots) until the budget is respected.
+func (ps *posteriorStore) insertLocked(sp *storedPosterior) bool {
 	if ps.maxBytes <= 0 || sp.bytes > ps.maxBytes {
 		ps.rejected++
 		return false
@@ -69,6 +114,7 @@ func (ps *posteriorStore) put(sp *storedPosterior) bool {
 		ps.order.Remove(oldest)
 		delete(ps.entries, old.jobID)
 		ps.evicted++
+		ps.removeSnapshot(old.jobID)
 	}
 	ps.entries[sp.jobID] = ps.order.PushFront(sp)
 	ps.bytes += sp.bytes
@@ -90,24 +136,135 @@ func (ps *posteriorStore) get(jobID string) (*storedPosterior, bool) {
 	return el.Value.(*storedPosterior), true
 }
 
+const snapshotSuffix = ".post.json"
+
+// snapshotPath maps a job id to its snapshot file. Server-minted ids are
+// already filename-safe ([instance.]job-NNNNNN); escaping defends against
+// ids from foreign snapshots dropped into the directory.
+func (ps *posteriorStore) snapshotPath(jobID string) string {
+	return filepath.Join(ps.dir, url.PathEscape(jobID)+snapshotSuffix)
+}
+
+// writeSnapshot persists one posterior in the PosteriorDoc wire form —
+// the same document GET /v1/jobs/{id}/posterior?cov=full serves and
+// msesolve -save-posterior writes — atomically via a rename.
+func (ps *posteriorStore) writeSnapshot(sp *storedPosterior) error {
+	doc := encode.NewPosteriorDoc(sp.post.Positions, sp.post.CoordVariances, sp.post.Cov)
+	doc.Job = sp.jobID
+	doc.Problem = sp.problem
+	doc.TopologyHash = sp.topoHash
+	doc.StructureHash = sp.structHash
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	path := ps.snapshotPath(sp.jobID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (ps *posteriorStore) removeSnapshot(jobID string) {
+	if ps.dir == "" {
+		return
+	}
+	if err := os.Remove(ps.snapshotPath(jobID)); err != nil && !os.IsNotExist(err) {
+		log.Printf("phmsed: removing posterior snapshot of %s: %v", jobID, err)
+	}
+}
+
+// loadFromDisk rebuilds the store from the snapshots a previous process
+// left behind. Snapshots are admitted oldest-first so the normal LRU
+// budget logic keeps the most recently written posteriors when the
+// directory holds more than the byte budget allows.
+func (ps *posteriorStore) loadFromDisk() {
+	entries, err := os.ReadDir(ps.dir)
+	if err != nil {
+		log.Printf("phmsed: reading posterior dir %s: %v", ps.dir, err)
+		return
+	}
+	type snap struct {
+		path string
+		mod  time.Time
+	}
+	snaps := make([]snap, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotSuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap{filepath.Join(ps.dir, e.Name()), info.ModTime()})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].mod.Before(snaps[j].mod) })
+	for _, s := range snaps {
+		sp, err := readSnapshot(s.path)
+		if err != nil {
+			log.Printf("phmsed: skipping posterior snapshot %s: %v", s.path, err)
+			continue
+		}
+		ps.mu.Lock()
+		if ps.insertLocked(sp) {
+			ps.loaded++
+		}
+		ps.mu.Unlock()
+	}
+}
+
+// readSnapshot decodes one snapshot back into store form, validating it
+// with the same checks the wire form gets.
+func readSnapshot(path string) (*storedPosterior, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc encode.PosteriorDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Job == "" || doc.StructureHash == "" {
+		return nil, fmt.Errorf("snapshot lacks a job id or structure hash")
+	}
+	pos, coordVar, cov, err := doc.Decode()
+	if err != nil {
+		return nil, err
+	}
+	sp := &storedPosterior{
+		jobID:      doc.Job,
+		problem:    doc.Problem,
+		topoHash:   doc.TopologyHash,
+		structHash: doc.StructureHash,
+		post:       &core.Posterior{Positions: pos, CoordVariances: coordVar, Cov: cov},
+	}
+	sp.bytes = sp.post.Bytes()
+	return sp, nil
+}
+
 // posteriorStats is a point-in-time snapshot of the store's accounting.
 type posteriorStats struct {
 	entries                                 int
 	bytes, capacity                         int64
 	hits, misses, stored, rejected, evicted int64
+	persisted, loaded                       int64
 }
 
 func (ps *posteriorStore) stats() posteriorStats {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	return posteriorStats{
-		entries:  ps.order.Len(),
-		bytes:    ps.bytes,
-		capacity: ps.maxBytes,
-		hits:     ps.hits,
-		misses:   ps.misses,
-		stored:   ps.stored,
-		rejected: ps.rejected,
-		evicted:  ps.evicted,
+		entries:   ps.order.Len(),
+		bytes:     ps.bytes,
+		capacity:  ps.maxBytes,
+		hits:      ps.hits,
+		misses:    ps.misses,
+		stored:    ps.stored,
+		rejected:  ps.rejected,
+		evicted:   ps.evicted,
+		persisted: ps.persisted,
+		loaded:    ps.loaded,
 	}
 }

@@ -85,6 +85,19 @@ type Config struct {
 	// between attempts — attempt k waits RetryBackoff·2ᵏ, capped at 32×
 	// (default 100 ms).
 	RetryBackoff time.Duration
+	// InstanceID, when set, marks this daemon as one shard of a routed
+	// cluster: job ids are minted shard-qualified ("<instance>.job-000001"
+	// instead of "job-000001"), every response carries an
+	// X-Phmsed-Instance header, and /healthz, /readyz and /metrics report
+	// the id — so phmse-router can build its routing table from health
+	// probes and any routed response stays attributable to a shard.
+	InstanceID string
+	// PosteriorDir, when set, persists retained warm-start posteriors
+	// under this directory (one encode.PosteriorDoc JSON snapshot per
+	// job) and reloads them on startup within PosteriorBytes, so
+	// posteriors survive daemon restarts. Evicted posteriors have their
+	// snapshots removed alongside.
+	PosteriorDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -156,8 +169,13 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. When the daemon has an instance
+// identity, every response is stamped with it so a response that crossed
+// the routing tier is attributable to the shard that produced it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.InstanceID != "" {
+		w.Header().Set("X-Phmsed-Instance", s.cfg.InstanceID)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -366,11 +384,13 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	body := encode.HealthStatus{Status: "ok", InstanceID: s.cfg.InstanceID}
 	if s.mgr.isDraining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReady is the load-balancer readiness probe: unlike /healthz
@@ -378,13 +398,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // a balancer stops routing submissions that would only bounce off 429s.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	depth := s.mgr.queueDepth()
-	body := map[string]any{"status": "ok", "queue_depth": depth, "queue_capacity": s.cfg.QueueDepth}
+	body := encode.HealthStatus{
+		Status:        "ok",
+		InstanceID:    s.cfg.InstanceID,
+		QueueDepth:    depth,
+		QueueCapacity: s.cfg.QueueDepth,
+	}
 	switch {
 	case s.mgr.isDraining():
-		body["status"] = "draining"
+		body.Status = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 	case depth >= s.cfg.QueueDepth:
-		body["status"] = "saturated"
+		body.Status = "saturated"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 	default:
 		writeJSON(w, http.StatusOK, body)
@@ -393,6 +418,8 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 // Metrics is the JSON document served at /metrics.
 type Metrics struct {
+	// Instance is the daemon's shard identity, when configured.
+	Instance      string           `json:"instance,omitempty"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Jobs          MetricsJobs      `json:"jobs"`
 	Queue         MetricsQueue     `json:"queue"`
@@ -447,6 +474,11 @@ type MetricsPosteriorStore struct {
 	Stored        int64 `json:"stored"`
 	Rejected      int64 `json:"rejected"`
 	Evicted       int64 `json:"evicted"`
+	// Persisted counts posteriors snapshotted to disk; Loaded counts
+	// snapshots reloaded at startup (both zero unless the store is
+	// disk-backed via Config.PosteriorDir).
+	Persisted int64 `json:"persisted,omitempty"`
+	Loaded    int64 `json:"loaded,omitempty"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -455,6 +487,7 @@ func (s *Server) Snapshot() Metrics {
 	hits, misses, entries := s.mgr.cache.stats()
 	ps := s.mgr.posteriors.stats()
 	m := Metrics{
+		Instance:      s.cfg.InstanceID,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Jobs: MetricsJobs{
 			Submitted:     s.mgr.submitted.Load(),
@@ -483,6 +516,8 @@ func (s *Server) Snapshot() Metrics {
 			Stored:        ps.stored,
 			Rejected:      ps.rejected,
 			Evicted:       ps.evicted,
+			Persisted:     ps.persisted,
+			Loaded:        ps.loaded,
 		},
 		OpTimes: s.mgr.rec.Snapshot(),
 	}
