@@ -168,8 +168,10 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	var merged []taggedJob
 	morePerShard := false
 	answered := 0
+	anyErred := false
 	for i, sh := range live {
 		if pages[i].err != nil {
+			anyErred = true
 			continue
 		}
 		answered++
@@ -202,7 +204,12 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 		next[tj.sh.name] = tj.st.ID
 	}
 	resp := encode.JobList{Jobs: out}
-	if len(out) == limit && (len(merged) > limit || morePerShard) {
+	// Page on when surplus candidates remain — and also whenever a live
+	// shard failed to answer, even if this page came up short: terminating
+	// the listing there would silently drop the errored shard's jobs, when
+	// re-paging with the same composite cursor picks them up once it
+	// recovers.
+	if (len(out) == limit && (len(merged) > limit || morePerShard)) || anyErred {
 		resp.NextAfter = encodeCursor(next)
 	}
 	writeJSON(w, http.StatusOK, resp)

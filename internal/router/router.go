@@ -152,6 +152,11 @@ type Router struct {
 	byInstance map[string]*shard
 	ring       *ring
 
+	// rebuildMu serializes ring rebuilds end to end (shard-state snapshot
+	// through install) so concurrent health transitions cannot interleave
+	// and install a ring built from a stale snapshot.
+	rebuildMu sync.Mutex
+
 	forwarded, failed, retried atomic.Int64
 	noShard, listFanouts       atomic.Int64
 }
@@ -215,7 +220,14 @@ func (rt *Router) Close() {
 }
 
 // rebuildRing reassembles the ring from the currently ready shards.
+// rebuildMu makes snapshot-and-install atomic with respect to other
+// rebuilds: every transition updates its shard's state before calling
+// here, so whichever rebuild runs last reads (and installs) a ring that
+// reflects all earlier transitions — a stale ring can never outlast the
+// final rebuild of a burst.
 func (rt *Router) rebuildRing() {
+	rt.rebuildMu.Lock()
+	defer rt.rebuildMu.Unlock()
 	ready := make([]*shard, 0, len(rt.shards))
 	for _, sh := range rt.shards {
 		sh.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -301,6 +302,82 @@ func TestCrossShardListingPagination(t *testing.T) {
 	// A backend's own cursor is meaningless at the router.
 	if _, err := cl.c.List(ctx, client.ListOptions{After: "job-000001"}); err == nil {
 		t.Fatal("bare backend cursor accepted by router listing")
+	}
+}
+
+// TestListingShardErrorKeepsCursor: a live shard that fails to answer the
+// list fan-out must not terminate pagination even when the merged page
+// comes up short — the routed page still carries a composite cursor, with
+// the errored shard's position untouched, so re-paging picks its jobs up
+// once it recovers instead of silently dropping them.
+func TestListingShardErrorKeepsCursor(t *testing.T) {
+	mkShard := func(instance string, jobs []encode.JobStatus, healthy *atomic.Bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/healthz", "/readyz":
+				json.NewEncoder(w).Encode(encode.HealthStatus{Status: "ok", InstanceID: instance}) //nolint:errcheck
+			case "/v1/jobs":
+				if healthy != nil && !healthy.Load() {
+					http.Error(w, "boom", http.StatusInternalServerError)
+					return
+				}
+				after := r.URL.Query().Get("after")
+				out := encode.JobList{Jobs: []encode.JobStatus{}}
+				for _, st := range jobs {
+					if after == "" || st.ID > after {
+						out.Jobs = append(out.Jobs, st)
+					}
+				}
+				json.NewEncoder(w).Encode(out) //nolint:errcheck
+			default:
+				http.NotFound(w, r)
+			}
+		}))
+	}
+	var flakyUp atomic.Bool
+	a := mkShard("a", []encode.JobStatus{
+		{ID: "a.job-000001", State: encode.JobDone, SubmittedAt: "2026-08-07T00:00:01Z"},
+	}, nil)
+	defer a.Close()
+	b := mkShard("b", []encode.JobStatus{
+		{ID: "b.job-000001", State: encode.JobDone, SubmittedAt: "2026-08-07T00:00:02Z"},
+	}, &flakyUp)
+	defer b.Close()
+
+	// A probe interval long enough that the fan-out, not the prober,
+	// decides what this test observes.
+	rt, err := New(Config{Shards: []string{a.URL, b.URL}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt)
+	defer rts.Close()
+	c := client.New(rts.URL)
+	ctx := context.Background()
+
+	list, err := c.List(ctx, client.ListOptions{Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != "a.job-000001" {
+		t.Fatalf("page with one shard erroring: %+v, want only a.job-000001", list.Jobs)
+	}
+	if list.NextAfter == "" {
+		t.Fatal("short page with an errored shard terminated pagination; its jobs would be silently dropped")
+	}
+
+	// The shard recovers; re-paging with the same cursor surfaces its jobs.
+	flakyUp.Store(true)
+	list2, err := c.List(ctx, client.ListOptions{Limit: 10, After: list.NextAfter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list2.Jobs) != 1 || list2.Jobs[0].ID != "b.job-000001" {
+		t.Fatalf("re-page after recovery: %+v, want only b.job-000001", list2.Jobs)
+	}
+	if list2.NextAfter != "" {
+		t.Fatalf("fully-answered final page still carries cursor %q", list2.NextAfter)
 	}
 }
 

@@ -169,6 +169,13 @@ func newManager(cfg Config) *manager {
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, cfg.QueueDepth),
 	}
+	// Job ids must stay unique across restarts: reloaded posterior
+	// snapshots are keyed by pre-restart job ids, and the posterior store
+	// is consulted before the job table, so a fresh counter re-minting an
+	// old id would serve the previous incarnation's posterior as the new
+	// job's — and clobber its snapshot on completion. Seed the counter past
+	// every id the snapshot directory still references.
+	m.nextID = m.posteriors.maxJobSeq()
 	m.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()

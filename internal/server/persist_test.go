@@ -72,6 +72,33 @@ func TestPosteriorDiskRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRestartDoesNotReuseSnapshotIDs: the id counter reseeds past every
+// id the snapshot directory still references, so a restarted daemon can
+// never re-mint the id of a reloaded posterior — the posterior store is
+// consulted before the job table, and a collision would serve the old
+// incarnation's posterior as the new job's (then clobber it on keep).
+func TestRestartDoesNotReuseSnapshotIDs(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 2, QueueDepth: 16, PosteriorBytes: 64 << 20,
+		InstanceID: "alpha", PosteriorDir: dir}
+	_, _, c1 := newTestServer(t, cfg)
+	params := cappedParams()
+	params.KeepPosterior = true
+	st := submit(t, c1, helix(6), params)
+	waitState(t, c1, st.ID, StateDone)
+
+	// Restart: the first post-restart job must get a fresh id, not the
+	// retained snapshot's.
+	_, _, c2 := newTestServer(t, cfg)
+	st2 := submit(t, c2, helix(4), cappedParams())
+	if st2.ID == st.ID {
+		t.Fatalf("restarted daemon re-minted id %q of a retained posterior", st.ID)
+	}
+	if st.ID != "alpha.job-000001" || st2.ID != "alpha.job-000002" {
+		t.Fatalf("ids %q then %q, want alpha.job-000001 then alpha.job-000002", st.ID, st2.ID)
+	}
+}
+
 // testPosterior builds a small synthetic posterior for direct store tests.
 func testPosterior(jobID string, n int) *storedPosterior {
 	post := &core.Posterior{

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -77,19 +78,36 @@ func newPosteriorStore(maxBytes int64, dir string) *posteriorStore {
 // and snapshots it to disk when the store is disk-backed. It reports
 // whether the posterior was retained: one larger than the whole budget (or
 // a disabled store) is rejected outright.
+//
+// The snapshot write happens outside ps.mu: it is disk I/O, and holding
+// the lock across it would block every posterior lookup (warm-start
+// resolution, GET /posterior) for the duration. A concurrent put can evict
+// the entry while its snapshot is being written; the membership re-check
+// below removes the orphaned file so a reload never resurrects an evicted
+// posterior.
 func (ps *posteriorStore) put(sp *storedPosterior) bool {
 	sp.bytes = sp.post.Bytes()
 	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	if !ps.insertLocked(sp) {
+	ok := ps.insertLocked(sp)
+	ps.mu.Unlock()
+	if !ok {
 		return false
 	}
-	if ps.dir != "" {
-		if err := ps.writeSnapshot(sp); err != nil {
-			log.Printf("phmsed: persisting posterior of %s: %v", sp.jobID, err)
-		} else {
-			ps.persisted++
-		}
+	if ps.dir == "" {
+		return true
+	}
+	if err := ps.writeSnapshot(sp); err != nil {
+		log.Printf("phmsed: persisting posterior of %s: %v", sp.jobID, err)
+		return true
+	}
+	ps.mu.Lock()
+	_, present := ps.entries[sp.jobID]
+	if present {
+		ps.persisted++
+	}
+	ps.mu.Unlock()
+	if !present {
+		ps.removeSnapshot(sp.jobID)
 	}
 	return true
 }
@@ -120,6 +138,26 @@ func (ps *posteriorStore) insertLocked(sp *storedPosterior) bool {
 	ps.bytes += sp.bytes
 	ps.stored++
 	return true
+}
+
+// maxJobSeq returns the highest numeric job sequence ("...job-NNNNNN")
+// among the retained posteriors, 0 when none parse. The manager seeds its
+// id counter past it on startup so a restarted daemon never re-mints an id
+// that a reloaded snapshot still references.
+func (ps *posteriorStore) maxJobSeq() int64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	var max int64
+	for id := range ps.entries {
+		i := strings.LastIndex(id, "job-")
+		if i < 0 {
+			continue
+		}
+		if n, err := strconv.ParseInt(id[i+len("job-"):], 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // get returns the retained posterior of a job, bumping its recency.
