@@ -18,7 +18,10 @@
 //	bench   — machine-readable benchmark pipeline: Table 1/Table 2 plus the
 //	          covariance-kernel micro-benchmarks and the Joseph ablation,
 //	          written as JSON (-json path, default BENCH_PR2.json)
-//	all     — everything above except bench
+//	throughput — elastic solver-team scheduler vs the rigid worker pool on a
+//	          many-tiny-jobs service workload, written as JSON
+//	          (-throughput-json path, default BENCH_PR7.json)
+//	all     — everything above except bench and throughput
 //
 // Real-kernel experiments (table1, table2, eq1, combine) are scaled down by
 // default so the suite completes in about a minute; -full runs them at
@@ -38,6 +41,7 @@ type config struct {
 	seed     int64
 	csvDir   string
 	jsonPath string
+	tpPath   string
 }
 
 func main() {
@@ -46,6 +50,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1996, "ribosome generator seed")
 	flag.StringVar(&cfg.csvDir, "csv", "figures", "output directory for the figures experiment")
 	flag.StringVar(&cfg.jsonPath, "json", "BENCH_PR2.json", "output path for the bench experiment")
+	flag.StringVar(&cfg.tpPath, "throughput-json", "BENCH_PR7.json", "output path for the throughput experiment")
 	flag.Parse()
 
 	exps := flag.Args()
@@ -92,6 +97,8 @@ func run(exp string, cfg config) error {
 		return treestats(cfg)
 	case "bench":
 		return bench(cfg, cfg.jsonPath)
+	case "throughput":
+		return throughput(cfg, cfg.tpPath)
 	case "all":
 		for _, e := range []string{
 			"table1", "table2", "eq1",

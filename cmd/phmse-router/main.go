@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"phmse/internal/debugserve"
 	"phmse/internal/router"
 )
 
@@ -37,6 +38,8 @@ func main() {
 		probeTimeout = flag.Duration("probe-timeout", time.Second, "timeout for one health probe")
 		maxBackoff   = flag.Duration("max-probe-backoff", 30*time.Second, "cap on the probe backoff of an unreachable shard")
 		failAfter    = flag.Int("fail-after", 1, "consecutive failed probes before a shard leaves the ring")
+		inflight     = flag.Int("shard-inflight", 0, "max concurrent requests forwarded to one shard; saturated shards answer 429 (0 = unlimited)")
+		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -56,6 +59,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *inflight < 0 {
+		fmt.Fprintln(os.Stderr, "phmse-router: -shard-inflight must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
+	debugserve.Start(*pprofAddr)
 	rt, err := router.New(router.Config{
 		Shards:          bases,
 		VNodes:          *vnodes,
@@ -63,6 +72,7 @@ func main() {
 		ProbeTimeout:    *probeTimeout,
 		MaxProbeBackoff: *maxBackoff,
 		FailAfter:       *failAfter,
+		ShardInflight:   *inflight,
 	})
 	if err != nil {
 		log.Fatalf("phmse-router: %v", err)

@@ -1,13 +1,15 @@
 // Command phmsed is the structure-estimation daemon: a long-lived HTTP
 // server that accepts estimation problems in the JSON interchange format,
-// runs them on a worker pool sized to the machine, caches decomposition
-// and scheduling artifacts across repeated solves of the same topology,
-// and supports per-job cancellation, timeouts, and graceful shutdown.
+// runs them through an elastic solver-team scheduler sized to the machine
+// (cheap jobs coalesce onto small teams running concurrently, expensive
+// jobs get wide teams), caches decomposition and scheduling artifacts
+// across repeated solves of the same topology, and supports per-job
+// cancellation, timeouts, and graceful shutdown.
 //
 // Usage:
 //
 //	phmsed -addr :8080
-//	phmsed -addr :8080 -workers 4 -procs 2 -queue 64
+//	phmsed -addr :8080 -max-procs 8 -max-team 4 -queue 64
 //
 // Submit and poll:
 //
@@ -33,15 +35,20 @@ import (
 	"syscall"
 	"time"
 
+	"phmse/internal/debugserve"
 	"phmse/internal/server"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", 0, "concurrent solves (default GOMAXPROCS/2)")
-		procs        = flag.Int("procs", 0, "processor team size per solve (default GOMAXPROCS/workers)")
+		workers      = flag.Int("workers", 0, "legacy: concurrent solves; with -procs maps to -max-procs = workers*procs")
+		procs        = flag.Int("procs", 0, "legacy: processor team size per solve; maps to -max-team")
+		maxProcs     = flag.Int("max-procs", 0, "total processor budget shared by all running solves (default GOMAXPROCS)")
+		minTeam      = flag.Int("min-team", 0, "smallest processor team a solve runs on (default 1)")
+		maxTeam      = flag.Int("max-team", 0, "widest processor team a single solve may get (default max-procs)")
 		queue        = flag.Int("queue", 32, "bounded job-queue depth (full queue rejects with 429)")
+		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
 		cacheSize    = flag.Int("plan-cache", 64, "plan cache entries (negative disables)")
 		postMB       = flag.Int64("posterior-mb", 256, "posterior store budget in MiB for warm starts (<= 0 disables)")
 		maxRetries   = flag.Int("max-retries", 2, "automatic re-solve attempts after a transient job failure (0 disables)")
@@ -55,8 +62,9 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *workers < 0 || *procs < 0 || *queue < 1 || *maxRetries < 0 || *drainTimeout <= 0 {
-		fmt.Fprintln(os.Stderr, "phmsed: -workers and -procs must be >= 0, -queue >= 1, -max-retries >= 0, -drain-timeout > 0")
+	if *workers < 0 || *procs < 0 || *maxProcs < 0 || *minTeam < 0 || *maxTeam < 0 ||
+		*queue < 1 || *maxRetries < 0 || *drainTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "phmsed: processor flags must be >= 0, -queue >= 1, -max-retries >= 0, -drain-timeout > 0")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -74,9 +82,13 @@ func main() {
 	if retries == 0 {
 		retries = -1 // Config: 0 keeps the default, negative disables
 	}
+	debugserve.Start(*pprofAddr)
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		ProcsPerJob:    *procs,
+		MaxProcs:       *maxProcs,
+		MinTeam:        *minTeam,
+		MaxTeam:        *maxTeam,
 		QueueDepth:     *queue,
 		CacheSize:      *cacheSize,
 		PosteriorBytes: posteriorBytes,

@@ -1,0 +1,31 @@
+// Package debugserve starts an optional net/http/pprof debug listener for
+// the daemons. CPU and heap profiles of a live phmsed or phmse-router are
+// then one curl away:
+//
+//	curl -s localhost:6060/debug/pprof/profile?seconds=10 > cpu.pb.gz
+//	curl -s localhost:6060/debug/pprof/heap > heap.pb.gz
+//
+// The endpoints are served on a dedicated address, never the API listener,
+// so enabling them cannot expose profiling to API clients.
+package debugserve
+
+import (
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on DefaultServeMux
+)
+
+// Start serves the pprof debug endpoints at addr on a background
+// goroutine. An empty addr disables them (the default). The listener uses
+// http.DefaultServeMux, which the net/http/pprof import populates.
+func Start(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Printf("pprof: serving debug endpoints on %s", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("pprof: %v", err)
+		}
+	}()
+}

@@ -177,8 +177,10 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 		Team: opt.Team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph,
 		GateSigma: opt.GateSigma, Guard: !opt.NoGuard, Diag: opt.Diag, Tag: opt.FaultTag,
 	}
+	defer u.ReleaseWorkspace()
 	res := Result{Diag: opt.Diag}
 	prev := append([]float64(nil), s.X...)
+	diff := make([]float64, len(prev))
 	grew := 0
 	prevRMS := math.Inf(1)
 	streakBase := 0.0
@@ -199,7 +201,6 @@ func Solve(s *State, cons []constraint.Constraint, opt SolveOptions) (Result, er
 			return res, err
 		}
 		res.Cycles = cycle + 1
-		diff := make([]float64, len(prev))
 		mat.SubVec(diff, s.X, prev)
 		res.RMSChange = mat.RMS(diff)
 		copy(prev, s.X)

@@ -10,6 +10,7 @@ import (
 
 	"phmse/internal/geom"
 	"phmse/internal/mat"
+	"phmse/internal/pool"
 )
 
 // State is the Gaussian estimate of a structure: the mean coordinate vector
@@ -36,6 +37,28 @@ func NewState(pos []geom.Vec3, variance float64) *State {
 		s.C.Set(d, d, variance)
 	}
 	return s
+}
+
+// GetPooledState returns a dim-dimensional state backed by pooled
+// buffers: X has unspecified contents (the caller must fully overwrite
+// it), C is zeroed. Release with ReleasePooledState when the state no
+// longer escapes; a state that does escape (into a Solution, say) is
+// simply never released.
+func GetPooledState(dim int) *State {
+	return &State{X: pool.Get(dim), C: pool.GetMat(dim, dim)}
+}
+
+// ReleasePooledState returns a pooled state's buffers for reuse and
+// clears the state so accidental use-after-release fails loudly. Safe on
+// nil.
+func ReleasePooledState(s *State) {
+	if s == nil {
+		return
+	}
+	pool.Put(s.X)
+	pool.PutMat(s.C)
+	s.X = nil
+	s.C = nil
 }
 
 // Dim returns the state dimension (three times the number of atoms).

@@ -3,10 +3,12 @@ package filter
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"phmse/internal/faultinject"
 	"phmse/internal/mat"
 	"phmse/internal/par"
+	"phmse/internal/pool"
 	"phmse/internal/solvererr"
 	"phmse/internal/trace"
 )
@@ -64,10 +66,12 @@ type Updater struct {
 
 	// ws holds grown scratch buffers reused across batches — the Go
 	// counterpart of the paper's §5 observation that careful memory
-	// management of the per-node temporaries pays off. An Updater is not
-	// safe for concurrent use (the hierarchical solver creates one per
-	// node).
-	ws workspace
+	// management of the per-node temporaries pays off. It is leased
+	// lazily from a process-wide pool so the arena survives the Updater
+	// itself and is reused across solves; ReleaseWorkspace returns it.
+	// An Updater is not safe for concurrent use (the hierarchical solver
+	// creates one per node).
+	ws *workspace
 
 	// seqTeam caches the sequential fallback team constructed when Team is
 	// nil, so repeated Apply calls don't allocate a fresh one each batch.
@@ -82,6 +86,36 @@ type workspace struct {
 	// snapX/snapC hold the pre-batch state snapshot the guard rolls back
 	// to when a batch produces non-finite values.
 	snapX, snapC []float64
+}
+
+// wsPool recycles workspace arenas across Updaters (and therefore across
+// jobs): the hierarchical solver builds a fresh Updater per node per
+// cycle, and without reuse each one regrows its m×m innovation and n×m
+// gain scratch from nothing.
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+// scratch returns the updater's workspace, leasing one from the pool on
+// first use. Pooled arenas come back with their grown capacity intact;
+// every user fully overwrites the region it re-slices.
+func (u *Updater) scratch() *workspace {
+	if u.ws == nil {
+		if pool.Enabled() {
+			u.ws = wsPool.Get().(*workspace)
+		} else {
+			u.ws = new(workspace)
+		}
+	}
+	return u.ws
+}
+
+// ReleaseWorkspace returns the updater's scratch arena to the process-wide
+// pool. The Updater must not be used again afterwards. Safe to call when
+// no workspace was ever leased.
+func (u *Updater) ReleaseWorkspace() {
+	if u.ws != nil && pool.Enabled() {
+		wsPool.Put(u.ws)
+	}
+	u.ws = nil
 }
 
 // matOf slices a zeroed r×c matrix out of a grown backing buffer.
@@ -141,6 +175,7 @@ func (u *Updater) Apply(s *State, b *Batch) (int, error) {
 		return 0, nil
 	}
 	team := u.team()
+	ws := u.scratch()
 	n := s.Dim()
 	m := len(asm.z)
 	nnz := float64(asm.jac.NNZ())
@@ -149,8 +184,8 @@ func (u *Updater) Apply(s *State, b *Batch) (int, error) {
 	// region retries below only redo the small m×m work). C is exactly
 	// symmetric on entry — the mirrored triangular update below guarantees
 	// it — so A is formed reading only the lower triangle of C.
-	a := matOfDirty(&u.ws.aBuf, n, m)
-	ha := matOfDirty(&u.ws.haBuf, m, m)
+	a := matOfDirty(&ws.aBuf, n, m)
+	ha := matOfDirty(&ws.haBuf, m, m)
 	u.Rec.Timed(trace.DenseSparse, 2*float64(n)*nnz+2*nnz*float64(m), func() {
 		asm.jac.DenseMulTSymPar(team, a, s.C)
 		asm.jac.MulDensePar(team, ha, a)
@@ -158,7 +193,7 @@ func (u *Updater) Apply(s *State, b *Batch) (int, error) {
 
 	// Innovation ν = z − h(x⁻); 2π-periodic observations (torsions) wrap
 	// into (−π, π] so the estimate is pulled the short way around.
-	nu := vecOf(&u.ws.nu, m)
+	nu := vecOf(&ws.nu, m)
 	u.Rec.Timed(trace.VecOp, float64(m), func() {
 		mat.SubVec(nu, asm.z, asm.h)
 		for i, w := range asm.wrap {
@@ -188,9 +223,9 @@ func (u *Updater) Apply(s *State, b *Batch) (int, error) {
 	// noise R ← λ·R — a consistent Kalman update for noisier data, unlike
 	// clamping the step vector, which would desynchronize the covariance
 	// from the mean. λ grows geometrically until the step fits.
-	sMat := matOfDirty(&u.ws.sBuf, m, m)
-	k := matOfDirty(&u.ws.kBuf, n, m)
-	dx := vecOf(&u.ws.dx, n)
+	sMat := matOfDirty(&ws.sBuf, m, m)
+	k := matOfDirty(&ws.kBuf, n, m)
+	dx := vecOf(&ws.dx, n)
 	lambda := 1.0
 	// Ridge recovery: when S fails to factor (indefinite under round-off,
 	// or a forced injection), the batch is retried with the measurement
@@ -265,7 +300,7 @@ func (u *Updater) Apply(s *State, b *Batch) (int, error) {
 		// for the triangular rank-2k cross terms — versus 6n²m before
 		// symmetry exploitation.
 		u.Rec.Timed(trace.MatMat, 2*fn*fm*fm+3*fn*(fn+1)*fm, func() {
-			w := matOfDirty(&u.ws.wBuf, n, m)
+			w := matOfDirty(&ws.wBuf, n, m)
 			mat.MulPar(team, w, k, sMat) // sMat holds L after factorization
 			mat.SyrkAddPar(team, s.C, w)
 			// Last pass mirrors the fully accumulated lower triangle.
@@ -320,8 +355,9 @@ func (u *Updater) site() faultinject.Site {
 // snapshot saves the state into the workspace; restore puts it back. The
 // guard brackets every batch with them so a poisoned update can be undone.
 func (u *Updater) snapshot(s *State) {
-	u.ws.snapX = append(u.ws.snapX[:0], s.X...)
-	u.ws.snapC = append(u.ws.snapC[:0], s.C.Data...)
+	ws := u.scratch()
+	ws.snapX = append(ws.snapX[:0], s.X...)
+	ws.snapC = append(ws.snapC[:0], s.C.Data...)
 }
 
 func (u *Updater) restore(s *State) {

@@ -8,7 +8,6 @@ import (
 
 	"phmse/internal/filter"
 	"phmse/internal/geom"
-	"phmse/internal/mat"
 	"phmse/internal/par"
 	"phmse/internal/solvererr"
 	"phmse/internal/trace"
@@ -147,10 +146,15 @@ func Solve(root *Node, init []geom.Vec3, opt Options) (*filter.State, Result, er
 		var err error
 		opt.cycle = cycle + 1
 		opt.Diag.BeginCycle()
+		prevState := state
 		state, err = UpdatePass(root, positions, opt)
 		if err != nil {
 			return nil, res, err
 		}
+		// The previous cycle's root posterior has served its purpose (its
+		// positions were written back below last cycle); recycle it. The
+		// final state escapes into the Solution and is never released.
+		filter.ReleasePooledState(prevState)
 		res.Cycles = cycle + 1
 
 		// Write the root estimate back to the global position buffer and
@@ -273,10 +277,16 @@ func updateNode(n *Node, positions []geom.Vec3, opt Options, team *par.Team) (*f
 	}
 
 	s := assemble(n, childStates, positions, opt)
+	// The children's posteriors have been copied into the parent's prior;
+	// their pooled buffers feed the next node's assembly.
+	for _, cs := range childStates {
+		filter.ReleasePooledState(cs)
+	}
 	u := &filter.Updater{
 		Team: team, Rec: opt.Rec, MaxStep: opt.MaxStep, Joseph: opt.Joseph, GateSigma: opt.GateSigma,
 		Guard: !opt.NoGuard, Diag: opt.Diag, Tag: opt.FaultTag, Node: n.Name, Cycle: opt.cycle,
 	}
+	defer u.ReleaseWorkspace()
 	if _, err := u.ApplyAll(s, n.batches); err != nil {
 		return nil, fmt.Errorf("node %q: %w", n.Name, err)
 	}
@@ -290,7 +300,10 @@ func updateNode(n *Node, positions []geom.Vec3, opt Options, team *par.Team) (*f
 // injected per-coordinate posterior variances.
 func assemble(n *Node, childStates []*filter.State, positions []geom.Vec3, opt Options) *filter.State {
 	dim := n.StateDim()
-	s := &filter.State{X: make([]float64, dim), C: mat.New(dim, dim)}
+	// Pooled prior: X is fully written below (children then direct atoms
+	// cover every entry), C comes back zeroed so the off-diagonal blocks
+	// between children start uncorrelated.
+	s := filter.GetPooledState(dim)
 	off := 0
 	for i, cs := range childStates {
 		cd := n.Children[i].StateDim()

@@ -1,0 +1,201 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+// stubShard is a minimal fake phmsed: healthy, and its job endpoint
+// blocks until released so the test can hold forwarded requests in
+// flight deterministically.
+type stubShard struct {
+	ts      *httptest.Server
+	release chan struct{}
+	served  atomic.Int64
+}
+
+func newStubShard(t *testing.T, instance string) *stubShard {
+	t.Helper()
+	st := &stubShard{release: make(chan struct{})}
+	mux := http.NewServeMux()
+	health := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(encode.HealthStatus{Status: "ok", InstanceID: instance}) //nolint:errcheck
+	}
+	mux.HandleFunc("GET /healthz", health)
+	mux.HandleFunc("GET /readyz", health)
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st.served.Add(1)
+		<-st.release
+		w.Header().Set("X-Phmsed-Instance", instance)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id": %q, "state": "done"}`, r.PathValue("id"))
+	})
+	st.ts = httptest.NewServer(mux)
+	t.Cleanup(st.ts.Close)
+	return st
+}
+
+// releaseAll unblocks every held job request, exactly once.
+func (st *stubShard) releaseAll() {
+	select {
+	case <-st.release:
+	default:
+		close(st.release)
+	}
+}
+
+// With -shard-inflight 2, the third concurrent request to a shard must be
+// refused with 429 + Retry-After and the queue_full envelope code while
+// two are held in flight, and admitted again once a slot frees.
+func TestShardInflightLimitRejectsExcess(t *testing.T) {
+	const limit = 2
+	st := newStubShard(t, "s1")
+	rt, err := New(Config{
+		Shards:        []string{st.ts.URL},
+		ShardInflight: limit,
+		ProbeInterval: time.Hour, // no probe churn during the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	t.Cleanup(st.releaseAll)
+	rts := httptest.NewServer(rt)
+	t.Cleanup(rts.Close)
+
+	// Qualify the id with the stub's instance so the request is a direct
+	// forward, not a broadcast. The router learns instances from probes;
+	// force one now.
+	rt.CheckNow(context.Background())
+
+	get := func() *http.Response {
+		resp, err := http.Get(rts.URL + "/v1/jobs/s1.job-000001")
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return nil
+		}
+		return resp
+	}
+
+	// Hold `limit` requests in flight inside the stub.
+	var wg sync.WaitGroup
+	held := make([]*http.Response, limit)
+	for i := range held {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			held[i] = get()
+		}(i)
+	}
+	for int(st.served.Load()) < limit {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The shard is saturated: one more request bounces at the router.
+	resp := get()
+	if resp == nil {
+		t.FailNow()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated forward: http %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("saturated forward: no Retry-After hint")
+	}
+	var env encode.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != encode.CodeQueueFull {
+		t.Fatalf("saturated forward: code %q, want %q", env.Error.Code, encode.CodeQueueFull)
+	}
+
+	m := rt.Snapshot()
+	if m.ShardInflightLimit != limit {
+		t.Fatalf("metrics limit = %d, want %d", m.ShardInflightLimit, limit)
+	}
+	if m.Saturated < 1 {
+		t.Fatalf("metrics saturated = %d, want >= 1", m.Saturated)
+	}
+	if got := m.Shards[0].Inflight; got != limit {
+		t.Fatalf("shard inflight gauge = %d, want %d", got, limit)
+	}
+	if got := m.Shards[0].Rejected; got < 1 {
+		t.Fatalf("shard rejected = %d, want >= 1", got)
+	}
+
+	// Free the held slots; the shard must be admitting again.
+	st.releaseAll()
+	wg.Wait()
+	for _, r := range held {
+		if r == nil {
+			t.FailNow()
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("held forward: http %d, want 200", r.StatusCode)
+		}
+	}
+	resp = get()
+	if resp == nil {
+		t.FailNow()
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release forward: http %d, want 200", resp.StatusCode)
+	}
+	if m := rt.Snapshot(); m.Shards[0].Inflight != 0 {
+		t.Fatalf("idle inflight gauge = %d, want 0; slot leaked", m.Shards[0].Inflight)
+	}
+}
+
+// The zero value keeps today's behavior: no limit, nothing rejected.
+func TestShardInflightUnlimitedByDefault(t *testing.T) {
+	st := newStubShard(t, "s1")
+	st.releaseAll() // never block
+	rt, err := New(Config{Shards: []string{st.ts.URL}, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rts := httptest.NewServer(rt)
+	t.Cleanup(rts.Close)
+	rt.CheckNow(context.Background())
+
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(rts.URL + "/v1/jobs/s1.job-000007")
+			if err != nil {
+				bad.Add(1)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				bad.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := bad.Load(); n != 0 {
+		t.Fatalf("%d of 16 unlimited forwards failed", n)
+	}
+	m := rt.Snapshot()
+	if m.Saturated != 0 || m.Shards[0].Rejected != 0 {
+		t.Fatalf("unlimited config rejected requests: saturated %d, rejected %d", m.Saturated, m.Shards[0].Rejected)
+	}
+}

@@ -19,9 +19,14 @@ type Metrics struct {
 	Retried   int64 `json:"retried"`
 	// NoShard counts requests refused because no shard could serve them;
 	// ListFanouts counts cross-shard listing merges.
-	NoShard     int64          `json:"no_shard"`
-	ListFanouts int64          `json:"list_fanouts"`
-	Shards      []ShardMetrics `json:"shards"`
+	NoShard     int64 `json:"no_shard"`
+	ListFanouts int64 `json:"list_fanouts"`
+	// ShardInflightLimit is the configured per-shard in-flight cap (0 =
+	// unlimited); Saturated counts requests the router answered 429
+	// because every eligible shard was at that cap.
+	ShardInflightLimit int            `json:"shard_inflight_limit,omitempty"`
+	Saturated          int64          `json:"saturated"`
+	Shards             []ShardMetrics `json:"shards"`
 }
 
 // ShardMetrics is one backend's routing state and forwarding counters.
@@ -36,18 +41,25 @@ type ShardMetrics struct {
 	Forwarded           int64 `json:"forwarded"`
 	Failed              int64 `json:"failed"`
 	Retried             int64 `json:"retried"`
+	// Inflight is the gauge of requests currently forwarded to this shard
+	// (always 0 when no in-flight limit is configured); Rejected counts
+	// requests the limiter turned away at this shard.
+	Inflight int64 `json:"inflight"`
+	Rejected int64 `json:"rejected"`
 }
 
 // Snapshot assembles the current metrics document.
 func (rt *Router) Snapshot() Metrics {
 	m := Metrics{
-		UptimeSeconds:  time.Since(rt.start).Seconds(),
-		VNodesPerShard: rt.cfg.VNodes,
-		Forwarded:      rt.forwarded.Load(),
-		Failed:         rt.failed.Load(),
-		Retried:        rt.retried.Load(),
-		NoShard:        rt.noShard.Load(),
-		ListFanouts:    rt.listFanouts.Load(),
+		UptimeSeconds:      time.Since(rt.start).Seconds(),
+		VNodesPerShard:     rt.cfg.VNodes,
+		Forwarded:          rt.forwarded.Load(),
+		Failed:             rt.failed.Load(),
+		Retried:            rt.retried.Load(),
+		NoShard:            rt.noShard.Load(),
+		ListFanouts:        rt.listFanouts.Load(),
+		ShardInflightLimit: rt.cfg.ShardInflight,
+		Saturated:          rt.saturated.Load(),
 	}
 	for _, sh := range rt.shards {
 		sh.mu.Lock()
@@ -60,6 +72,8 @@ func (rt *Router) Snapshot() Metrics {
 			Forwarded:           sh.forwarded.Load(),
 			Failed:              sh.failed.Load(),
 			Retried:             sh.retried.Load(),
+			Inflight:            sh.inflight.Load(),
+			Rejected:            sh.rejected.Load(),
 		}
 		ready := sh.ready
 		sh.mu.Unlock()

@@ -71,6 +71,13 @@ type Config struct {
 	// shard from the ring (default 1). Forwarding transport failures eject
 	// immediately regardless.
 	FailAfter int
+	// ShardInflight caps the requests concurrently forwarded to any one
+	// shard — a counting semaphore per backend, so a slow daemon
+	// accumulates bounded load instead of every queued connection the
+	// router holds. A submission finding all its replicas saturated, or a
+	// job request whose owning shard is saturated, is answered 429 with a
+	// Retry-After hint. 0 (the default) disables the limit.
+	ShardInflight int
 	// Retry shapes forwarded-request retries with client.RetryPolicy
 	// semantics: transport failures and 5xx responses are retried for
 	// idempotent GETs only, with jittered exponential backoff.
@@ -129,6 +136,9 @@ type shard struct {
 	nextProbe   time.Time
 
 	forwarded, failed, retried atomic.Int64
+	// inflight is the counting semaphore behind Config.ShardInflight;
+	// rejected counts requests turned away at this shard's limit.
+	inflight, rejected atomic.Int64
 }
 
 func (sh *shard) isAlive() bool {
@@ -159,6 +169,7 @@ type Router struct {
 
 	forwarded, failed, retried atomic.Int64
 	noShard, listFanouts       atomic.Int64
+	saturated                  atomic.Int64
 }
 
 // New builds a router over the configured shards and starts its health
@@ -293,6 +304,37 @@ func (rt *Router) writeNoShard(w http.ResponseWriter) {
 	writeError(w, http.StatusServiceUnavailable, encode.CodeNoShard, "no healthy shard available")
 }
 
+// admit reserves an in-flight slot on sh under the per-shard limit; the
+// caller must pair a true return with exactly one release. With no limit
+// configured every request is admitted and release is a no-op counter.
+func (rt *Router) admit(sh *shard) bool {
+	limit := int64(rt.cfg.ShardInflight)
+	if limit <= 0 {
+		return true
+	}
+	if sh.inflight.Add(1) > limit {
+		sh.inflight.Add(-1)
+		sh.rejected.Add(1)
+		return false
+	}
+	return true
+}
+
+func (rt *Router) release(sh *shard) {
+	if rt.cfg.ShardInflight > 0 {
+		sh.inflight.Add(-1)
+	}
+}
+
+// writeSaturated answers a request the in-flight limiter refused: the
+// same 429 + Retry-After contract as a daemon's full queue, so client
+// retry policies treat both backpressure tiers identically.
+func (rt *Router) writeSaturated(w http.ResponseWriter, message string) {
+	rt.saturated.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, encode.CodeQueueFull, message)
+}
+
 // send issues one forwarded request to a shard.
 func (rt *Router) send(r *http.Request, sh *shard, method, pathq string, body []byte) (*http.Response, error) {
 	var rd io.Reader
@@ -348,8 +390,14 @@ func dialFailure(err error) bool {
 // mid-POST may have already enqueued the job, and replaying it would
 // duplicate work. A transport failure ejects the shard from the ring
 // immediately (the probe loop readmits it when it recovers). Reports
-// whether a response was relayed.
+// whether a response was written — including the 429 when the shard is at
+// its in-flight limit.
 func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, sh *shard, pathq string, body []byte) bool {
+	if !rt.admit(sh) {
+		rt.writeSaturated(w, fmt.Sprintf("shard %s at its in-flight limit", sh.name))
+		return true
+	}
+	defer rt.release(sh)
 	attempts := 1
 	if r.Method == http.MethodGet {
 		attempts = rt.cfg.Retry.MaxAttempts
@@ -411,12 +459,20 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// Ring replicas are the failover order. A POST fails over only on dial
 	// failures — the request never left, so no shard could have enqueued
-	// it; any later transport error is ambiguous and surfaces as 502.
+	// it; any later transport error is ambiguous and surfaces as 502. A
+	// replica at its in-flight limit is skipped the same way a dead one
+	// is; a submission finding every replica saturated gets the 429.
 	// Backend responses (including 429 backpressure with its Retry-After)
 	// relay verbatim: the client's own RetryPolicy honours them.
+	sawSaturated := false
 	for _, sh := range rt.replicasFor(key) {
+		if !rt.admit(sh) {
+			sawSaturated = true
+			continue
+		}
 		resp, err := rt.send(r, sh, http.MethodPost, "/v1/solve", body)
 		if err != nil {
+			rt.release(sh)
 			rt.failed.Add(1)
 			sh.failed.Add(1)
 			rt.eject(sh)
@@ -430,6 +486,11 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		rt.relay(w, resp, sh)
+		rt.release(sh)
+		return
+	}
+	if sawSaturated {
+		rt.writeSaturated(w, "all replicas at their in-flight limit")
 		return
 	}
 	rt.writeNoShard(w)
@@ -450,13 +511,18 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	sawNotFound := false
+	sawNotFound, sawSaturated := false, false
 	for _, sh := range rt.shards {
 		if !sh.isAlive() {
 			continue
 		}
+		if !rt.admit(sh) {
+			sawSaturated = true
+			continue
+		}
 		resp, err := rt.send(r, sh, r.Method, pathq, nil)
 		if err != nil {
+			rt.release(sh)
 			rt.failed.Add(1)
 			sh.failed.Add(1)
 			rt.eject(sh)
@@ -465,9 +531,18 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		if resp.StatusCode == http.StatusNotFound {
 			sawNotFound = true
 			discard(resp)
+			rt.release(sh)
 			continue
 		}
 		rt.relay(w, resp, sh)
+		rt.release(sh)
+		return
+	}
+	// A saturated shard was skipped, so the job may simply live where the
+	// router could not look: tell the client to retry, not that the job
+	// does not exist.
+	if sawSaturated {
+		rt.writeSaturated(w, "shard at its in-flight limit; retry")
 		return
 	}
 	if sawNotFound {

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSizeForClamps(t *testing.T) {
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 16, MinTeam: 1, MaxTeam: 8, Grain: 100})
+	cases := []struct {
+		cost float64
+		want int
+	}{
+		{0, 1},   // below one grain → MinTeam
+		{99, 1},  // still below
+		{100, 1}, // exactly one grain
+		{250, 2}, // floor(2.5)
+		{400, 4}, // exact
+		{1e9, 8}, // clamped to MaxTeam
+		{-5, 1},  // nonsense cost → MinTeam
+	}
+	for _, c := range cases {
+		if got := s.SizeFor(c.cost); got != c.want {
+			t.Errorf("SizeFor(%g) = %d, want %d", c.cost, got, c.want)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 4})
+	if s.MinTeam() != 1 || s.MaxTeam() != 4 {
+		t.Fatalf("defaults: min %d max %d", s.MinTeam(), s.MaxTeam())
+	}
+	// MaxTeam above MaxProcs clamps down; MinTeam above MaxProcs clamps.
+	s2 := NewTeamScheduler(ElasticConfig{MaxProcs: 4, MinTeam: 8, MaxTeam: 16})
+	if s2.MinTeam() != 4 || s2.MaxTeam() != 4 {
+		t.Fatalf("clamped: min %d max %d", s2.MinTeam(), s2.MaxTeam())
+	}
+}
+
+func TestTinyJobsRunConcurrently(t *testing.T) {
+	// 4 processors, MinTeam 1: four tiny jobs must all be admitted at
+	// once — worker count bounds processors, not jobs in flight.
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 4, MinTeam: 1, MaxTeam: 4})
+	var grants []*Grant
+	for i := 0; i < 4; i++ {
+		g, err := s.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Procs != 1 || !g.Coalesced {
+			t.Fatalf("grant %d: procs %d coalesced %v", i, g.Procs, g.Coalesced)
+		}
+		grants = append(grants, g)
+	}
+	st := s.Snapshot()
+	if st.TeamsActive != 4 || st.ProcsInUse != 4 || st.Coalesced != 4 {
+		t.Fatalf("snapshot: %+v", st)
+	}
+	for _, g := range grants {
+		g.Release()
+	}
+	if st := s.Snapshot(); st.ProcsInUse != 0 || st.TeamsActive != 0 {
+		t.Fatalf("after release: %+v", st)
+	}
+}
+
+func TestLargeJobShrinksUnderContention(t *testing.T) {
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 4, MinTeam: 1, MaxTeam: 4})
+	tiny, err := s.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := s.Acquire(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Procs != 3 || wide.Coalesced {
+		t.Fatalf("wide grant: procs %d coalesced %v", wide.Procs, wide.Coalesced)
+	}
+	if st := s.Snapshot(); st.Shrunk != 1 {
+		t.Fatalf("shrunk counter: %+v", st)
+	}
+	tiny.Release()
+	wide.Release()
+}
+
+func TestAcquireBlocksAndCancels(t *testing.T) {
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 2, MinTeam: 2, MaxTeam: 2})
+	hold, err := s.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := s.Acquire(ctx, 2); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	hold.Release()
+	g, err := s.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+func TestQueueWaitHistogram(t *testing.T) {
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 1, MinTeam: 1, MaxTeam: 1})
+	hold, _ := s.Acquire(context.Background(), 1)
+	done := make(chan struct{})
+	go func() {
+		g, err := s.Acquire(context.Background(), 1)
+		if err == nil {
+			g.Release()
+		}
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	hold.Release()
+	<-done
+	st := s.Snapshot()
+	if st.QueueWaitCount != 2 {
+		t.Fatalf("wait count %d, want 2", st.QueueWaitCount)
+	}
+	// The blocked acquire waited ≥ 20ms: it must not land in the fast
+	// buckets.
+	if st.QueueWait["lt_100us"] != 1 {
+		t.Fatalf("fast bucket: %+v", st.QueueWait)
+	}
+	var total int64
+	for _, c := range st.QueueWait {
+		total += c
+	}
+	if total != st.QueueWaitCount {
+		t.Fatalf("bucket sum %d != count %d", total, st.QueueWaitCount)
+	}
+	if st.QueueWaitMeanMs <= 0 {
+		t.Fatalf("mean wait %g", st.QueueWaitMeanMs)
+	}
+}
+
+// Concurrent admission churn; run under -race in CI.
+func TestSchedulerConcurrentChurn(t *testing.T) {
+	s := NewTeamScheduler(ElasticConfig{MaxProcs: 4, MinTeam: 1, MaxTeam: 3, Grain: 10})
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				grant, err := s.Acquire(context.Background(), s.SizeFor(float64(g*i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if grant.Procs < 1 || grant.Procs > 3 {
+					t.Errorf("grant width %d out of [1,3]", grant.Procs)
+				}
+				grant.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.ProcsInUse != 0 || st.TeamsActive != 0 {
+		t.Fatalf("not drained: %+v", st)
+	}
+	if st.Grants != 500 {
+		t.Fatalf("grants %d, want 500", st.Grants)
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"phmse/internal/encode"
 	"phmse/internal/faultinject"
 	"phmse/internal/molecule"
+	"phmse/internal/sched"
 	"phmse/internal/solvererr"
 	"phmse/internal/trace"
+	"phmse/internal/workest"
 )
 
 // JobState is the lifecycle state of a submitted solve. The wire form
@@ -136,13 +138,19 @@ func (j *job) finish(state JobState, errCode, errMsg string, sol *core.Solution)
 	j.mu.Unlock()
 }
 
-// manager owns the bounded job queue, the worker pool, the job records,
-// and the posterior store.
+// manager owns the bounded job queue, the elastic solver-team scheduler,
+// the job records, and the posterior store. A single dispatcher goroutine
+// pulls submissions off the queue and admits each through the scheduler,
+// which sizes its processor team from the job's estimated work — so the
+// configured processor budget bounds processors in use, not jobs in
+// flight: many cheap solves run concurrently on minimum-width teams while
+// an expensive solve still gets a wide one.
 type manager struct {
 	cfg        Config
 	cache      *planCache
 	posteriors *posteriorStore
 	rec        *trace.Collector
+	sched      *sched.TeamScheduler
 
 	mu       sync.Mutex
 	draining bool
@@ -151,7 +159,15 @@ type manager struct {
 	nextID   int64
 
 	queue chan *job
-	wg    sync.WaitGroup
+	// queuedCount tracks jobs in StateQueued — including the one the
+	// dispatcher has pulled off the channel but not yet admitted — so
+	// backpressure keys on jobs actually waiting, not channel occupancy.
+	queuedCount atomic.Int64
+	// dispatchCancel aborts an admission wait during forced shutdown.
+	dispatchCtx    context.Context
+	dispatchCancel context.CancelFunc
+	wg             sync.WaitGroup // dispatcher
+	jobsWG         sync.WaitGroup // in-flight job goroutines
 
 	submitted     atomic.Int64
 	rejected      atomic.Int64
@@ -166,9 +182,19 @@ func newManager(cfg Config) *manager {
 		cache:      newPlanCache(cfg.CacheSize),
 		posteriors: newPosteriorStore(cfg.PosteriorBytes, cfg.PosteriorDir),
 		rec:        &trace.Collector{},
-		jobs:       make(map[string]*job),
-		queue:      make(chan *job, cfg.QueueDepth),
+		sched: sched.NewTeamScheduler(sched.ElasticConfig{
+			MaxProcs: cfg.MaxProcs,
+			MinTeam:  cfg.MinTeam,
+			MaxTeam:  cfg.MaxTeam,
+			Grain:    cfg.TeamGrain,
+		}),
+		jobs: make(map[string]*job),
+		// The channel is sized past QueueDepth because cancelled-while-
+		// queued jobs linger in it until the dispatcher skips them; the
+		// queuedCount gate in submit is the real bound.
+		queue: make(chan *job, 2*cfg.QueueDepth+16),
 	}
+	m.dispatchCtx, m.dispatchCancel = context.WithCancel(context.Background())
 	// Job ids must stay unique across restarts: reloaded posterior
 	// snapshots are keyed by pre-restart job ids, and the posterior store
 	// is consulted before the job table, so a fresh counter re-minting an
@@ -176,24 +202,58 @@ func newManager(cfg Config) *manager {
 	// job's — and clobber its snapshot on completion. Seed the counter past
 	// every id the snapshot directory still references.
 	m.nextID = m.posteriors.maxJobSeq()
-	m.wg.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go m.worker()
-	}
+	m.wg.Add(1)
+	go m.dispatcher()
 	return m
 }
 
-func (m *manager) worker() {
+// jobCost estimates a job's total work with the fitted flop model, the
+// same Equation-1 estimate that drives static processor assignment inside
+// a solve — here lifted to the admission layer to size the job's team.
+func jobCost(p *molecule.Problem, batch int) float64 {
+	scalars := 0
+	for _, c := range p.Constraints {
+		scalars += c.Dim()
+	}
+	return workest.FlopModel{}.NodeWork(3*len(p.Atoms), scalars, batch)
+}
+
+// dispatcher admits queued jobs through the elastic scheduler in FIFO
+// order and runs each on its own goroutine with the granted team width.
+func (m *manager) dispatcher() {
 	defer m.wg.Done()
 	for j := range m.queue {
-		m.runIsolated(j)
+		if j.terminal() { // cancelled while queued
+			continue
+		}
+		batch := j.params.BatchSize
+		if batch <= 0 {
+			batch = 16
+		}
+		want := m.sched.SizeFor(jobCost(j.problem, batch))
+		// The request may ask for fewer processors than the estimate.
+		if p := j.params.Procs; p > 0 && p < want {
+			want = p
+		}
+		grant, err := m.sched.Acquire(m.dispatchCtx, want)
+		if err != nil {
+			// Forced shutdown: the admission wait was aborted.
+			m.cancelIfQueued(j, "cancelled during shutdown")
+			continue
+		}
+		m.jobsWG.Add(1)
+		go func(j *job, g *sched.Grant) {
+			defer m.jobsWG.Done()
+			defer g.Release()
+			m.runIsolated(j, g)
+		}(j, grant)
 	}
 }
 
-// runIsolated is the worker's last line of defense: a panic escaping the
-// per-attempt recovery (a bug in the job-driving code itself) fails the
-// job instead of killing the worker goroutine and leaking its queue slot.
-func (m *manager) runIsolated(j *job) {
+// runIsolated is the job goroutine's last line of defense: a panic
+// escaping the per-attempt recovery (a bug in the job-driving code itself)
+// fails the job instead of leaking its team grant.
+func (m *manager) runIsolated(j *job, g *sched.Grant) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.panics.Add(1)
@@ -201,19 +261,24 @@ func (m *manager) runIsolated(j *job) {
 			j.finish(StateFailed, encode.CodeInternalError, fmt.Sprintf("internal error: %v", r), nil)
 		}
 	}()
-	m.run(j)
+	m.run(j, g)
 }
 
 // submit validates queue capacity and registers the job. The queue is
-// bounded: a full queue rejects the submission immediately (backpressure)
-// rather than letting latency grow without bound. A non-nil warm posterior
-// (already resolved and validated against the problem) seeds the solve.
+// bounded on jobs awaiting admission: beyond QueueDepth the submission is
+// rejected immediately (backpressure) rather than letting latency grow
+// without bound. A non-nil warm posterior (already resolved and validated
+// against the problem) seeds the solve.
 func (m *manager) submit(p *molecule.Problem, params encode.SolveParams, warm *storedPosterior) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		m.rejected.Add(1)
 		return nil, ErrDraining
+	}
+	if int(m.queuedCount.Load()) >= m.cfg.QueueDepth {
+		m.rejected.Add(1)
+		return nil, ErrQueueFull
 	}
 	m.nextID++
 	// Shard-qualified ids keep the zero-padded per-instance ordering that
@@ -231,9 +296,12 @@ func (m *manager) submit(p *molecule.Problem, params encode.SolveParams, warm *s
 	select {
 	case m.queue <- j:
 	default:
+		// Headroom exhausted by cancelled jobs the dispatcher has not yet
+		// skipped — treat as a full queue.
 		m.rejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	m.queuedCount.Add(1)
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.pruneLocked()
@@ -276,37 +344,50 @@ func (m *manager) get(id string) (*job, bool) {
 	return j, ok
 }
 
+// cancelIfQueued moves a still-queued job to cancelled (the dispatcher
+// skips it when dequeued) and reports whether it did. Exiting StateQueued
+// here pairs with the queuedCount increment in submit.
+func (m *manager) cancelIfQueued(j *job, msg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCancelled
+	j.errCode = solvererr.CodeCanceled
+	j.errMsg = msg
+	j.finished = time.Now()
+	close(j.done)
+	m.queuedCount.Add(-1)
+	return true
+}
+
 // requestCancel cancels a job: queued jobs move to cancelled immediately
-// (the worker skips them when dequeued), running jobs have their context
-// cancelled and stop at the next cycle boundary. It reports whether the
-// job existed.
+// (the dispatcher skips them when dequeued), running jobs have their
+// context cancelled and stop at the next cycle boundary. It reports
+// whether the job existed.
 func (m *manager) requestCancel(id string) (*job, bool) {
 	j, ok := m.get(id)
 	if !ok {
 		return nil, false
 	}
+	if m.cancelIfQueued(j, "cancelled while queued") {
+		return j, true
+	}
 	j.mu.Lock()
-	switch j.state {
-	case StateQueued:
-		j.state = StateCancelled
-		j.errCode = solvererr.CodeCanceled
-		j.errMsg = "cancelled while queued"
-		j.finished = time.Now()
-		close(j.done)
-	case StateRunning:
-		if j.cancel != nil {
-			j.cancel()
-		}
+	if j.state == StateRunning && j.cancel != nil {
+		j.cancel()
 	}
 	j.mu.Unlock()
 	return j, true
 }
 
-// run executes one dequeued job end to end: an attempt loop with capped
+// run executes one admitted job end to end: an attempt loop with capped
 // exponential backoff for transient failures, one flat-organization
 // fallback when the hierarchical solve fails numerically, and a terminal
-// classification of whatever error survives.
-func (m *manager) run(j *job) {
+// classification of whatever error survives. The grant fixes the
+// processor-team width every attempt solves with.
+func (m *manager) run(j *job, g *sched.Grant) {
 	ctx := context.Background()
 	var timeoutCancel context.CancelFunc
 	if ms := j.params.TimeoutMillis; ms > 0 {
@@ -326,12 +407,13 @@ func (m *manager) run(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	m.queuedCount.Add(-1)
 	j.mu.Unlock()
 
 	var sol *core.Solution
 	var err error
 	for attempt := 0; ; attempt++ {
-		sol, err = m.attempt(ctx, j, attempt, false)
+		sol, err = m.attempt(ctx, j, attempt, false, g.Procs)
 		if err == nil || attempt >= m.cfg.MaxRetries || !retryable(err) || ctx.Err() != nil {
 			break
 		}
@@ -360,7 +442,7 @@ func (m *manager) run(j *job) {
 		j.mu.Lock()
 		j.flatFallback = true
 		j.mu.Unlock()
-		if fsol, ferr := m.attempt(ctx, j, m.cfg.MaxRetries+1, true); ferr == nil {
+		if fsol, ferr := m.attempt(ctx, j, m.cfg.MaxRetries+1, true, g.Procs); ferr == nil {
 			sol, err = fsol, nil
 		}
 	}
@@ -419,7 +501,7 @@ func retryable(err error) bool {
 // solver surfaces as a *panicError with the daemon unharmed. The attempt
 // number perturbs the starting estimate's seed so a retry explores a
 // different basin instead of deterministically repeating the failure.
-func (m *manager) attempt(ctx context.Context, j *job, attempt int, flat bool) (sol *core.Solution, err error) {
+func (m *manager) attempt(ctx context.Context, j *job, attempt int, flat bool, procs int) (sol *core.Solution, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			m.panics.Add(1)
@@ -430,26 +512,26 @@ func (m *manager) attempt(ctx context.Context, j *job, attempt int, flat bool) (
 	if h := faultinject.Installed(); h != nil && h.BeforeAttempt != nil {
 		h.BeforeAttempt(j.problem.Name, attempt)
 	}
-	return m.solve(ctx, j, attempt, flat)
+	return m.solve(ctx, j, attempt, flat, procs)
 }
 
 // solve builds the estimator (reusing cached planning artifacts when the
 // topology was seen before) and runs it under the job's context. flat
 // forces the flat organization regardless of the requested mode (the
-// numerical-failure fallback path).
-func (m *manager) solve(ctx context.Context, j *job, attempt int, flat bool) (*core.Solution, error) {
+// numerical-failure fallback path). procs is the admitted team width —
+// the scheduler's cost-sized, contention-shrunk grant — though the
+// request may still ask for fewer.
+func (m *manager) solve(ctx context.Context, j *job, attempt int, flat bool, procs int) (*core.Solution, error) {
 	params := j.params
 	mode := core.Hierarchical
 	if flat || params.Mode == "flat" {
 		mode = core.Flat
 	}
-	// Per-job processor-team allocation: the request may ask for fewer
-	// processors, but never more than the per-job share of the machine —
-	// Workers × ProcsPerJob is sized to GOMAXPROCS, so concurrent solves
-	// do not oversubscribe it.
-	procs := params.Procs
-	if procs <= 0 || procs > m.cfg.ProcsPerJob {
-		procs = m.cfg.ProcsPerJob
+	if p := params.Procs; p > 0 && p < procs {
+		procs = p
+	}
+	if procs < 1 {
+		procs = 1
 	}
 	batch := params.BatchSize
 	if batch <= 0 {
@@ -552,8 +634,9 @@ func (m *manager) list(state JobState, after string, limit int) ([]JobStatus, st
 	return out, next
 }
 
-// queueDepth returns the number of jobs waiting for a worker.
-func (m *manager) queueDepth() int { return len(m.queue) }
+// queueDepth returns the number of jobs awaiting admission (in
+// StateQueued, whether still in the channel or blocked at the scheduler).
+func (m *manager) queueDepth() int { return int(m.queuedCount.Load()) }
 
 // countByState scans the job records and tallies them by state.
 func (m *manager) countByState() map[JobState]int {
@@ -576,8 +659,9 @@ func (m *manager) countByState() map[JobState]int {
 
 // shutdown stops intake and drains the queue: already-accepted jobs (both
 // running and queued) are allowed to finish. When ctx expires first, every
-// remaining job is cancelled and shutdown waits for the workers to observe
-// the cancellation, returning ctx's error to signal the forced drain.
+// remaining job is cancelled — including any blocked at the scheduler's
+// admission wait — and shutdown waits for the work to observe the
+// cancellation, returning ctx's error to signal the forced drain.
 func (m *manager) shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	already := m.draining
@@ -587,18 +671,23 @@ func (m *manager) shutdown(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 
-	workersDone := make(chan struct{})
+	drained := make(chan struct{})
 	go func() {
+		// The dispatcher exits once the closed queue is empty; only then is
+		// the set of job goroutines final.
 		m.wg.Wait()
-		close(workersDone)
+		m.jobsWG.Wait()
+		close(drained)
 	}()
 	select {
-	case <-workersDone:
+	case <-drained:
 		return nil
 	case <-ctx.Done():
 	}
-	// Forced drain: cancel everything still alive and wait for the workers
-	// to wind down (cancellation is observed at the next cycle boundary).
+	// Forced drain: abort admission waits, cancel everything still alive,
+	// and wait for the work to wind down (running solves observe the
+	// cancellation at the next cycle boundary).
+	m.dispatchCancel()
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.jobs))
 	for id := range m.jobs {
@@ -608,6 +697,6 @@ func (m *manager) shutdown(ctx context.Context) error {
 	for _, id := range ids {
 		m.requestCancel(id)
 	}
-	<-workersDone
+	<-drained
 	return ctx.Err()
 }

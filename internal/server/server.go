@@ -44,6 +44,8 @@ import (
 	"phmse/internal/encode"
 	"phmse/internal/molecule"
 	"phmse/internal/pdb"
+	"phmse/internal/pool"
+	"phmse/internal/sched"
 	"phmse/internal/trace"
 )
 
@@ -55,15 +57,35 @@ const maxRequestBody = 64 << 20
 const maxListLimit = 500
 
 // Config sizes the daemon. The zero value selects defaults that share the
-// machine without oversubscription: Workers × ProcsPerJob ≈ GOMAXPROCS.
+// machine without oversubscription: the elastic scheduler's processor
+// budget defaults to GOMAXPROCS, and team widths are sized per job from
+// the fitted work estimator.
 type Config struct {
-	// Workers is the number of concurrent solves (default: half of
-	// GOMAXPROCS, at least 1).
-	Workers int
-	// ProcsPerJob is the processor-team size each solve is built with
-	// (default: GOMAXPROCS / Workers, at least 1). Requests may ask for
-	// fewer processors but are capped at this share.
+	// Workers and ProcsPerJob are the legacy rigid split (Workers
+	// concurrent solves × ProcsPerJob processors each). When set, they map
+	// onto the elastic scheduler as MaxProcs = Workers × ProcsPerJob and
+	// MaxTeam = ProcsPerJob, preserving the old budget and per-job width
+	// ceiling — but job concurrency is now bounded by processors in use
+	// (MaxProcs / MinTeam cheap jobs can run at once), not by Workers.
+	// Prefer MaxProcs/MinTeam/MaxTeam directly.
+	Workers     int
 	ProcsPerJob int
+	// MaxProcs is the total processor budget shared by all concurrently
+	// running solves (default: Workers × ProcsPerJob when those are set,
+	// otherwise GOMAXPROCS).
+	MaxProcs int
+	// MinTeam is the smallest processor team a solve runs on (default 1).
+	// Cheap jobs are granted exactly MinTeam, so MaxProcs/MinTeam of them
+	// coalesce onto the budget concurrently.
+	MinTeam int
+	// MaxTeam caps a single solve's team width (default: ProcsPerJob when
+	// set, otherwise MaxProcs).
+	MaxTeam int
+	// TeamGrain is the estimated work (flop-model units) worth one
+	// processor when sizing a job's team; a job of cost k×TeamGrain asks
+	// for a k-wide team before clamping to [MinTeam, MaxTeam]. Zero
+	// selects the scheduler default.
+	TeamGrain float64
 	// QueueDepth bounds the number of jobs waiting for a worker; further
 	// submissions are rejected with 429 (default 32).
 	QueueDepth int
@@ -101,18 +123,44 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	maxProcs := runtime.GOMAXPROCS(0)
+	gomax := runtime.GOMAXPROCS(0)
+	legacy := c.Workers > 0 || c.ProcsPerJob > 0
+	legacyProcs := c.ProcsPerJob > 0
 	if c.Workers <= 0 {
-		c.Workers = maxProcs / 2
+		c.Workers = gomax / 2
 		if c.Workers < 1 {
 			c.Workers = 1
 		}
 	}
 	if c.ProcsPerJob <= 0 {
-		c.ProcsPerJob = maxProcs / c.Workers
+		c.ProcsPerJob = gomax / c.Workers
 		if c.ProcsPerJob < 1 {
 			c.ProcsPerJob = 1
 		}
+	}
+	if c.MaxProcs <= 0 {
+		if legacy {
+			c.MaxProcs = c.Workers * c.ProcsPerJob
+		} else {
+			c.MaxProcs = gomax
+		}
+	}
+	if c.MaxTeam <= 0 {
+		if legacyProcs {
+			c.MaxTeam = c.ProcsPerJob
+		} else {
+			c.MaxTeam = c.MaxProcs
+		}
+	}
+	if c.MinTeam <= 0 {
+		c.MinTeam = 1
+	}
+	// Keep the triple consistent: MinTeam ≤ MaxTeam ≤ MaxProcs.
+	if c.MaxTeam > c.MaxProcs {
+		c.MaxTeam = c.MaxProcs
+	}
+	if c.MinTeam > c.MaxTeam {
+		c.MinTeam = c.MaxTeam
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 32
@@ -419,10 +467,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 // Metrics is the JSON document served at /metrics.
 type Metrics struct {
 	// Instance is the daemon's shard identity, when configured.
-	Instance      string           `json:"instance,omitempty"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Jobs          MetricsJobs      `json:"jobs"`
-	Queue         MetricsQueue     `json:"queue"`
+	Instance      string       `json:"instance,omitempty"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Jobs          MetricsJobs  `json:"jobs"`
+	Queue         MetricsQueue `json:"queue"`
+	// Scheduler reports the elastic solver-team scheduler: processor
+	// utilization, active teams, grant/coalesce/shrink counters, and the
+	// admission queue-wait histogram.
+	Scheduler sched.Stats `json:"scheduler"`
+	// WorkspacePool reports the size-classed scratch-buffer pool shared by
+	// all solves.
+	WorkspacePool pool.Stats       `json:"workspace_pool"`
 	PlanCache     MetricsPlanCache `json:"plan_cache"`
 	// Posteriors reports the warm-start posterior store's occupancy and
 	// effectiveness.
@@ -506,7 +561,9 @@ func (s *Server) Snapshot() Metrics {
 			Capacity: s.cfg.QueueDepth,
 			Workers:  s.cfg.Workers,
 		},
-		PlanCache: MetricsPlanCache{Hits: hits, Misses: misses, Entries: entries},
+		Scheduler:     s.mgr.sched.Snapshot(),
+		WorkspacePool: pool.Snapshot(),
+		PlanCache:     MetricsPlanCache{Hits: hits, Misses: misses, Entries: entries},
 		Posteriors: MetricsPosteriorStore{
 			Entries:       ps.entries,
 			Bytes:         ps.bytes,
