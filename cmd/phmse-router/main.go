@@ -39,6 +39,9 @@ func main() {
 		maxBackoff   = flag.Duration("max-probe-backoff", 30*time.Second, "cap on the probe backoff of an unreachable shard")
 		failAfter    = flag.Int("fail-after", 1, "consecutive failed probes before a shard leaves the ring")
 		inflight     = flag.Int("shard-inflight", 0, "max concurrent requests forwarded to one shard; saturated shards answer 429 (0 = unlimited)")
+		adminToken   = flag.String("admin-token", "", "bearer token required on /admin/v1 and presented to shards during migration (empty leaves the admin plane open)")
+		drainDL      = flag.Duration("drain-deadline", 30*time.Second, "default wait for a draining shard's in-flight jobs before migration proceeds")
+		migrTimeout  = flag.Duration("migrate-timeout", 10*time.Second, "per-posterior transfer timeout during migration passes")
 		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
 	)
 	flag.Parse()
@@ -73,6 +76,9 @@ func main() {
 		MaxProbeBackoff: *maxBackoff,
 		FailAfter:       *failAfter,
 		ShardInflight:   *inflight,
+		AdminToken:      *adminToken,
+		DrainDeadline:   *drainDL,
+		MigrateTimeout:  *migrTimeout,
 	})
 	if err != nil {
 		log.Fatalf("phmse-router: %v", err)

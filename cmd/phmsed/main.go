@@ -55,6 +55,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "max wait for in-flight jobs on shutdown")
 		instance     = flag.String("instance", "", "stable instance name; qualifies job ids for shard routing (letters, digits, - and _)")
 		posteriorDir = flag.String("posterior-dir", "", "directory for posterior snapshots; reloaded on startup for warm starts across restarts")
+		adminToken   = flag.String("admin-token", "", "bearer token required on posterior import/delete (PUT/DELETE /v1/posteriors); set to the router's -admin-token")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -95,6 +96,7 @@ func main() {
 		MaxRetries:     retries,
 		InstanceID:     *instance,
 		PosteriorDir:   *posteriorDir,
+		AdminToken:     *adminToken,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -32,9 +32,10 @@ import (
 // Client talks to one phmsed instance. The zero value is not usable;
 // create with New. A Client is safe for concurrent use.
 type Client struct {
-	base  string
-	hc    *http.Client
-	retry *RetryPolicy // nil: no transport-level retries
+	base   string
+	hc     *http.Client
+	retry  *RetryPolicy // nil: no transport-level retries
+	bearer string       // "": no Authorization header
 }
 
 // Option configures a Client.
@@ -44,6 +45,14 @@ type Option func(*Client)
 // transports, instrumentation).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithBearerToken attaches "Authorization: Bearer <token>" to every
+// request — required by the router's /admin/v1 control plane and the
+// daemons' mutating posterior-transfer endpoints when they run with
+// -admin-token. An empty token leaves requests unauthenticated.
+func WithBearerToken(token string) Option {
+	return func(c *Client) { c.bearer = token }
 }
 
 // RetryPolicy shapes the transport-level retry of WithRetry: jittered
@@ -252,6 +261,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+c.bearer)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

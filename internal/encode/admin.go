@@ -1,0 +1,118 @@
+package encode
+
+// Wire types for the phmse-router /admin/v1 control plane and the phmsed
+// posterior-transfer endpoints. They live in encode — not in the router —
+// because both daemons and the typed client speak them: the router serves
+// the admin documents, phmsed serves the posterior index, and
+// internal/client decodes both without importing either daemon package.
+
+// PosteriorInfo summarizes one retained posterior in a shard's store,
+// served by GET /v1/posteriors. It carries the hashes the migration pass
+// needs to re-place the posterior on a changed ring without downloading
+// the (much larger) full document first.
+type PosteriorInfo struct {
+	// Job is the shard-qualified job id the posterior was retained under.
+	Job     string `json:"job"`
+	Problem string `json:"problem,omitempty"`
+	// TopologyHash is the routing key: the ring position of this posterior
+	// is KeyHash(TopologyHash).
+	TopologyHash string `json:"topology_hash,omitempty"`
+	// StructureHash is the warm-start compatibility key (atoms + grouping).
+	StructureHash string `json:"structure_hash,omitempty"`
+	Atoms         int    `json:"atoms"`
+	// Bytes is the in-store footprint used against the posterior budget.
+	Bytes int64 `json:"bytes"`
+}
+
+// PosteriorIndex is the document served by GET /v1/posteriors?prefix=.
+type PosteriorIndex struct {
+	Posteriors []PosteriorInfo `json:"posteriors"`
+	// TotalBytes/CapacityBytes describe the whole store (not just the
+	// filtered listing), so a migration source can be checked for fit
+	// before streaming.
+	TotalBytes    int64 `json:"total_bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+}
+
+// ShardInfo is one router-side shard membership entry as served by the
+// admin API and embedded in admin operation reports.
+type ShardInfo struct {
+	// Base is the shard's base URL — the stable name consistent-hash arcs
+	// are derived from.
+	Base string `json:"base"`
+	// Instance is the daemon's learned -instance id ("" until the first
+	// successful probe or relay).
+	Instance string `json:"instance,omitempty"`
+	Alive    bool   `json:"alive"`
+	Ready    bool   `json:"ready"`
+	// InRing reports whether the shard currently owns ring arcs (ready and
+	// not fenced by a drain).
+	InRing bool `json:"in_ring"`
+	// DrainState is "" for an active member, "draining" while a drain is
+	// fencing and migrating, "drained" once a POST .../drain completed and
+	// the shard is held out of the ring awaiting removal or reactivation.
+	DrainState string `json:"drain_state,omitempty"`
+	// QueueDepth and Running mirror the shard's last /readyz probe — the
+	// load signal recorded per probe for ring-weighting groundwork.
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+}
+
+// ShardList is the GET /admin/v1/shards topology view.
+type ShardList struct {
+	Shards []ShardInfo `json:"shards"`
+	// RingShards is how many of them currently own arcs.
+	RingShards int `json:"ring_shards"`
+}
+
+// AddShardRequest is the POST /admin/v1/shards body.
+type AddShardRequest struct {
+	// Base is the new shard's base URL, e.g. "http://10.0.0.7:8080".
+	Base string `json:"base"`
+}
+
+// MigrationReport summarizes one posterior migration pass.
+type MigrationReport struct {
+	// Migrated counts posteriors streamed to their new owner and deleted
+	// from the source after the destination acknowledged.
+	Migrated int `json:"migrated"`
+	// Failed counts posteriors left intact on the source because export,
+	// import, or the source index itself failed — no ack, no delete.
+	Failed int `json:"failed"`
+	// Skipped counts posteriors that did not need to move (or had no
+	// routing key, or no destination existed).
+	Skipped int   `json:"skipped"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// AddShardResponse reports a POST /admin/v1/shards outcome.
+type AddShardResponse struct {
+	Shard ShardInfo `json:"shard"`
+	// Reactivated is true when the base named an existing drained member
+	// that was returned to service instead of a brand-new shard.
+	Reactivated bool `json:"reactivated,omitempty"`
+	// Migration is the rebalancing pass run after the ring change, moving
+	// remapped posteriors onto the new member.
+	Migration MigrationReport `json:"migration"`
+}
+
+// DrainReport reports a DELETE /admin/v1/shards/{name} or
+// POST /admin/v1/shards/{name}/drain outcome.
+type DrainReport struct {
+	Shard ShardInfo `json:"shard"`
+	// Mode is "drain" or "immediate".
+	Mode string `json:"mode"`
+	// Removed is true when the shard was ejected from membership (DELETE);
+	// false for a POST drain, which fences and migrates but keeps the
+	// member registered in state "drained".
+	Removed bool `json:"removed"`
+	// TimedOut is true when in-flight work remained at the drain deadline;
+	// InflightAtEnd is the last observed queued+running count (-1 when the
+	// shard stopped answering probes).
+	TimedOut      bool  `json:"timed_out,omitempty"`
+	InflightAtEnd int   `json:"inflight_at_end,omitempty"`
+	WaitedMillis  int64 `json:"waited_millis"`
+	// Migration is the posterior evacuation pass; Failed+Skipped is the
+	// unmigrated count left stranded on the source.
+	Migration MigrationReport `json:"migration"`
+}

@@ -64,6 +64,12 @@ type JobStatus struct {
 	// WarmStartFrom names the job whose retained posterior seeded this
 	// solve, when the submission carried a warm_start reference.
 	WarmStartFrom string `json:"warm_start_from,omitempty"`
+	// Shard is the instance id of the daemon that owns the job — the same
+	// identity carried by the X-Phmsed-Instance response header, promoted
+	// into the body so listings and stored statuses keep their attribution
+	// without header plumbing. Stable v1 API; empty only when the daemon
+	// runs without -instance.
+	Shard string `json:"shard,omitempty"`
 	// PosteriorKept reports whether the job's posterior was admitted to the
 	// server's posterior store on completion (keep_posterior submissions
 	// only). A kept posterior may still be evicted later under memory
@@ -114,6 +120,15 @@ const (
 	// job; the job fails but the daemon keeps serving. Reported in
 	// JobStatus.ErrorCode, not as an HTTP envelope code.
 	CodeInternalError = "internal_error"
+	// CodeUnauthorized: the request lacks the bearer token an admin or
+	// transfer endpoint requires (HTTP 401).
+	CodeUnauthorized = "unauthorized"
+	// CodeConflict: the requested admin change is already in effect — e.g.
+	// adding a shard that is an active member (HTTP 409).
+	CodeConflict = "conflict"
+	// CodePosteriorBudget: a posterior import was refused because it does
+	// not fit the destination store's byte budget (HTTP 507).
+	CodePosteriorBudget = "posterior_budget"
 )
 
 // HealthStatus is the body of GET /healthz and GET /readyz. The liveness
@@ -131,6 +146,9 @@ type HealthStatus struct {
 	// only; omitted when zero).
 	QueueDepth    int `json:"queue_depth,omitempty"`
 	QueueCapacity int `json:"queue_capacity,omitempty"`
+	// Running counts jobs currently executing (readyz only) — together
+	// with QueueDepth it is the in-flight signal a drain waits on.
+	Running int `json:"running,omitempty"`
 }
 
 // ErrorBody is the payload of the v1 error envelope.

@@ -1,0 +1,123 @@
+package encode
+
+// Ring arc-diff helpers for the elastic sharding tier. The router places
+// routing keys (topology hashes) on a consistent-hash ring of virtual
+// nodes; when cluster membership changes, the keys that move are exactly
+// the ones falling on arcs whose owner differs between the old and the new
+// ring. These helpers compute that changed-arc set once per membership
+// change, so the migration pass can test each retained posterior with a
+// binary search instead of two full ring lookups — and so the remap logic
+// is a small, independently testable piece of the wire layer rather than
+// something buried in the router's forwarding paths.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// KeyHash positions a routing key or virtual-node label on the ring:
+// the first 8 bytes of its sha256, big endian. sha256 rather than a
+// cheaper hash because routing keys are content hashes that must spread
+// uniformly, and ring construction is off the hot path. The router and
+// the arc-diff helpers must agree on this function exactly — a key
+// hashed differently would diff into the wrong arc.
+func KeyHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// RingPoint is one virtual node in wire form: its position on the ring
+// and the stable name of the shard that owns it.
+type RingPoint struct {
+	Hash  uint64
+	Owner string
+}
+
+// ArcSet is the set of ring arcs whose owner changed between two ring
+// generations. An arc (bounds[i-1], bounds[i]] is keyed by its inclusive
+// upper boundary; the arc keyed by bounds[0] wraps around the top of the
+// hash space. Build with ChangedArcs; query with Contains.
+type ArcSet struct {
+	bounds  []uint64 // sorted, unique: every point hash of either ring
+	changed []bool   // changed[i]: the arc ending at bounds[i] remapped
+	n       int      // number of changed arcs
+}
+
+// ownerAt returns the owner of hash h under a sorted point list: the
+// first point at or clockwise of h, wrapping at the top. "" on an empty
+// ring, which makes every arc of a from-empty or to-empty diff count as
+// changed — the correct answer for bootstrap and last-shard-out.
+func ownerAt(points []RingPoint, h uint64) string {
+	if len(points) == 0 {
+		return ""
+	}
+	i := sort.Search(len(points), func(i int) bool { return points[i].Hash >= h })
+	if i == len(points) {
+		i = 0
+	}
+	return points[i].Owner
+}
+
+// ChangedArcs diffs two ring generations. Both point lists are copied and
+// sorted, so callers may pass them in any order. The elementary arcs are
+// delimited by the union of both rings' points: no point of either ring
+// lies strictly inside one, so each arc has a single owner under each
+// ring and the diff is exact.
+func ChangedArcs(old, new []RingPoint) ArcSet {
+	oldPts := sortedPoints(old)
+	newPts := sortedPoints(new)
+	seen := make(map[uint64]bool, len(oldPts)+len(newPts))
+	bounds := make([]uint64, 0, len(oldPts)+len(newPts))
+	for _, p := range oldPts {
+		if !seen[p.Hash] {
+			seen[p.Hash] = true
+			bounds = append(bounds, p.Hash)
+		}
+	}
+	for _, p := range newPts {
+		if !seen[p.Hash] {
+			seen[p.Hash] = true
+			bounds = append(bounds, p.Hash)
+		}
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	a := ArcSet{bounds: bounds, changed: make([]bool, len(bounds))}
+	for i, b := range bounds {
+		// Every h in the arc ending at b resolves to the same first-point-
+		// at-or-after under either ring (no points lie inside the arc), so
+		// the owner at the boundary is the owner of the whole arc.
+		if ownerAt(oldPts, b) != ownerAt(newPts, b) {
+			a.changed[i] = true
+			a.n++
+		}
+	}
+	return a
+}
+
+func sortedPoints(pts []RingPoint) []RingPoint {
+	out := append([]RingPoint(nil), pts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Hash < out[j].Hash })
+	return out
+}
+
+// Contains reports whether the key hashing to h falls on a changed arc —
+// i.e. whether its owner differs between the two diffed rings.
+func (a ArcSet) Contains(h uint64) bool {
+	if len(a.bounds) == 0 {
+		return false
+	}
+	i := sort.Search(len(a.bounds), func(i int) bool { return a.bounds[i] >= h })
+	if i == len(a.bounds) {
+		i = 0 // wrap: the arc keyed by the lowest boundary
+	}
+	return a.changed[i]
+}
+
+// Any reports whether the diff found any changed arc at all — false means
+// the two rings route every key identically and a migration pass can be
+// skipped outright.
+func (a ArcSet) Any() bool { return a.n > 0 }
+
+// Len returns the number of changed elementary arcs, for logging.
+func (a ArcSet) Len() int { return a.n }

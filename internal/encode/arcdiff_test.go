@@ -1,0 +1,123 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// testRing builds the point list a router ring over the named shards
+// would produce: vnodes points per shard labeled "name#i", exactly as
+// internal/router's buildRing does.
+func testRing(vnodes int, names ...string) []RingPoint {
+	var pts []RingPoint
+	for _, name := range names {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, RingPoint{Hash: KeyHash(fmt.Sprintf("%s#%d", name, v)), Owner: name})
+		}
+	}
+	return pts
+}
+
+func TestKeyHashDeterministic(t *testing.T) {
+	if KeyHash("a") != KeyHash("a") {
+		t.Fatal("KeyHash not deterministic")
+	}
+	if KeyHash("a") == KeyHash("b") {
+		t.Fatal("KeyHash collides on trivial inputs")
+	}
+	// Pinned value: KeyHash is a wire-level contract between the router's
+	// placement and the migration diff; changing it silently would strand
+	// every persisted posterior on the wrong shard after an upgrade.
+	if got := KeyHash("job-000001"); got != 0x9e2991daf3ff471c {
+		t.Fatalf("KeyHash(\"job-000001\") = %#x; the hash function changed", got)
+	}
+}
+
+// TestChangedArcsMatchesLookup cross-checks Contains against the ground
+// truth: brute-force owner lookups under both rings for a spread of keys.
+// A key's owner changed iff its hash falls on a changed arc.
+func TestChangedArcsMatchesLookup(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new []string
+	}{
+		{"shrink_3_to_2", []string{"s1", "s2", "s3"}, []string{"s1", "s2"}},
+		{"grow_2_to_3", []string{"s1", "s2"}, []string{"s1", "s2", "s3"}},
+		{"replace_one", []string{"s1", "s2", "s3"}, []string{"s1", "s2", "s4"}},
+		{"identical", []string{"s1", "s2"}, []string{"s1", "s2"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			oldPts := testRing(64, tc.old...)
+			newPts := testRing(64, tc.new...)
+			arcs := ChangedArcs(oldPts, newPts)
+			sortedOld := sortedPoints(oldPts)
+			sortedNew := sortedPoints(newPts)
+			var moved int
+			for i := 0; i < 4096; i++ {
+				h := KeyHash(fmt.Sprintf("key-%d", i))
+				want := ownerAt(sortedOld, h) != ownerAt(sortedNew, h)
+				if got := arcs.Contains(h); got != want {
+					t.Fatalf("key-%d (hash %#x): Contains=%v, owner-changed=%v", i, h, got, want)
+				}
+				if want {
+					moved++
+				}
+			}
+			if tc.name == "identical" {
+				if arcs.Any() {
+					t.Fatalf("identical rings produced %d changed arcs", arcs.Len())
+				}
+			} else if !arcs.Any() || moved == 0 {
+				t.Fatalf("membership change produced no movement (arcs=%d moved=%d)", arcs.Len(), moved)
+			}
+			// Movement should stay bounded: a consistent-hash membership
+			// change of one shard in three moves roughly a third of keys,
+			// never the bulk of them.
+			if tc.name != "identical" && tc.name != "replace_one" && moved > 4096/2 {
+				t.Fatalf("one-shard change moved %d/4096 keys — placement is not consistent", moved)
+			}
+		})
+	}
+}
+
+func TestChangedArcsEmptyRings(t *testing.T) {
+	pts := testRing(8, "s1")
+	if arcs := ChangedArcs(nil, nil); arcs.Any() {
+		t.Fatal("empty->empty diff reported changed arcs")
+	}
+	bootstrap := ChangedArcs(nil, pts)
+	lastOut := ChangedArcs(pts, nil)
+	for i := 0; i < 256; i++ {
+		h := KeyHash(fmt.Sprintf("k%d", i))
+		if !bootstrap.Contains(h) {
+			t.Fatalf("empty->ring: key k%d not marked changed", i)
+		}
+		if !lastOut.Contains(h) {
+			t.Fatalf("ring->empty: key k%d not marked changed", i)
+		}
+	}
+	// A key hashing exactly onto a boundary belongs to the arc it ends.
+	b := sortedPoints(pts)[0].Hash
+	if !bootstrap.Contains(b) {
+		t.Fatal("boundary hash not contained in its own arc")
+	}
+}
+
+func TestChangedArcsUnsortedInput(t *testing.T) {
+	old := testRing(16, "s1", "s2")
+	new := testRing(16, "s1", "s2", "s3")
+	// Reverse-sorted input must give the same diff: ChangedArcs sorts
+	// its own copies.
+	rev := append([]RingPoint(nil), old...)
+	sort.Slice(rev, func(i, j int) bool { return rev[i].Hash > rev[j].Hash })
+	a := ChangedArcs(old, new)
+	b := ChangedArcs(rev, new)
+	for i := 0; i < 512; i++ {
+		h := KeyHash(fmt.Sprintf("u%d", i))
+		if a.Contains(h) != b.Contains(h) {
+			t.Fatalf("diff depends on input order at key u%d", i)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package router
+
+// The /admin/v1 control plane: runtime shard membership without a router
+// restart.
+//
+//	GET    /admin/v1/shards               topology view
+//	POST   /admin/v1/shards               add (or reactivate) a shard
+//	DELETE /admin/v1/shards/{name}        remove (?mode=drain|immediate,
+//	                                      ?deadline_ms= overrides the wait)
+//	POST   /admin/v1/shards/{name}/drain  fence + migrate, keep membership
+//
+// {name} addresses a shard by its instance id or its base URL
+// (URL-escaped, e.g. http%3A%2F%2Fhost%3A8080); the scheme-less host:port
+// form of the base also matches. With Config.AdminToken set, every
+// endpoint requires "Authorization: Bearer <token>". Membership mutations
+// serialize under adminMu — including their migration passes — so
+// overlapping admin calls cannot race on ring generations; the ring
+// install itself goes through the same rebuildMu path health transitions
+// use.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+// adminAuth wraps an admin handler with the bearer-token check.
+func (rt *Router) adminAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rt.cfg.AdminToken != "" && r.Header.Get("Authorization") != "Bearer "+rt.cfg.AdminToken {
+			writeError(w, http.StatusUnauthorized, encode.CodeUnauthorized,
+				"missing or invalid admin token")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// findShard resolves an admin {name} to a member: instance id first, then
+// the base URL, then the base with its scheme stripped.
+func (rt *Router) findShard(name string) *shard {
+	for _, sh := range rt.shardList() {
+		sh.mu.Lock()
+		instance := sh.instance
+		sh.mu.Unlock()
+		stripped := strings.TrimPrefix(strings.TrimPrefix(sh.name, "https://"), "http://")
+		if name == instance && instance != "" || name == sh.name || name == stripped {
+			return sh
+		}
+	}
+	return nil
+}
+
+// shardInfo snapshots one member in wire form.
+func (rt *Router) shardInfo(sh *shard) encode.ShardInfo {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return encode.ShardInfo{
+		Base:       sh.base,
+		Instance:   sh.instance,
+		Alive:      sh.alive,
+		Ready:      sh.ready,
+		InRing:     sh.ready && sh.drain == "" && !sh.removed,
+		DrainState: sh.drain,
+		QueueDepth: sh.queueDepth,
+		Running:    sh.running,
+	}
+}
+
+func (rt *Router) handleAdminShards(w http.ResponseWriter, r *http.Request) {
+	list := encode.ShardList{Shards: []encode.ShardInfo{}}
+	for _, sh := range rt.shardList() {
+		info := rt.shardInfo(sh)
+		if info.InRing {
+			list.RingShards++
+		}
+		list.Shards = append(list.Shards, info)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (rt *Router) handleAdminAddShard(w http.ResponseWriter, r *http.Request) {
+	var req encode.AddShardRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	base := strings.TrimRight(strings.TrimSpace(req.Base), "/")
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("base must be an http(s) URL, got %q", req.Base))
+		return
+	}
+	resp, err := rt.addShard(r.Context(), base)
+	if err != nil {
+		writeError(w, http.StatusConflict, encode.CodeConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// drainDeadline resolves the effective drain wait: ?deadline_ms= when
+// present, the configured default otherwise.
+func (rt *Router) drainDeadline(r *http.Request) (time.Duration, error) {
+	v := r.URL.Query().Get("deadline_ms")
+	if v == "" {
+		return rt.cfg.DrainDeadline, nil
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms < 0 {
+		return 0, fmt.Errorf("deadline_ms must be a non-negative integer, got %q", v)
+	}
+	return time.Duration(ms) * time.Millisecond, nil
+}
+
+func (rt *Router) handleAdminRemoveShard(w http.ResponseWriter, r *http.Request) {
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "drain"
+	}
+	if mode != "drain" && mode != "immediate" {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("mode must be drain or immediate, got %q", mode))
+		return
+	}
+	deadline, err := rt.drainDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest, err.Error())
+		return
+	}
+	name := r.PathValue("name")
+	sh := rt.findShard(name)
+	if sh == nil {
+		writeError(w, http.StatusNotFound, encode.CodeNotFound,
+			fmt.Sprintf("no shard named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.removeShard(r.Context(), sh, mode, deadline))
+}
+
+func (rt *Router) handleAdminDrainShard(w http.ResponseWriter, r *http.Request) {
+	deadline, err := rt.drainDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest, err.Error())
+		return
+	}
+	name := r.PathValue("name")
+	sh := rt.findShard(name)
+	if sh == nil {
+		writeError(w, http.StatusNotFound, encode.CodeNotFound,
+			fmt.Sprintf("no shard named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.drainShard(r.Context(), sh, deadline))
+}

@@ -45,7 +45,7 @@ func (rt *Router) CheckNow(ctx context.Context) {
 func (rt *Router) sweep(ctx context.Context, force bool) {
 	now := time.Now()
 	var wg sync.WaitGroup
-	for _, sh := range rt.shards {
+	for _, sh := range rt.shardList() {
 		sh.mu.Lock()
 		due := force || !now.Before(sh.nextProbe)
 		sh.mu.Unlock()
@@ -70,11 +70,10 @@ func (rt *Router) sweep(ctx context.Context, force bool) {
 func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
 	defer cancel()
-	var hs encode.HealthStatus
+	var hs, rs encode.HealthStatus
 	alive := rt.probeGet(pctx, sh, "/healthz", &hs)
 	ready := false
 	if alive {
-		var rs encode.HealthStatus
 		ready = rt.probeGet(pctx, sh, "/readyz", &rs)
 	}
 	if hs.InstanceID != "" {
@@ -85,6 +84,11 @@ func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 	sh.mu.Lock()
 	wasReady := sh.ready
 	sh.alive = alive
+	// Record the readiness document's load signal even when it carried a
+	// 503 (a saturated daemon still reports its occupancy); a dead shard
+	// reads as zero.
+	sh.queueDepth = rs.QueueDepth
+	sh.running = rs.Running
 	switch {
 	case alive && ready:
 		sh.ready = true

@@ -100,7 +100,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var live []*shard
-	for _, sh := range rt.shards {
+	for _, sh := range rt.shardList() {
 		if sh.isAlive() {
 			live = append(live, sh)
 		}

@@ -24,9 +24,24 @@ type Metrics struct {
 	// ShardInflightLimit is the configured per-shard in-flight cap (0 =
 	// unlimited); Saturated counts requests the router answered 429
 	// because every eligible shard was at that cap.
-	ShardInflightLimit int            `json:"shard_inflight_limit,omitempty"`
-	Saturated          int64          `json:"saturated"`
-	Shards             []ShardMetrics `json:"shards"`
+	ShardInflightLimit int   `json:"shard_inflight_limit,omitempty"`
+	Saturated          int64 `json:"saturated"`
+	// Migration totals across every admin membership change.
+	Migration MetricsMigration `json:"migration"`
+	Shards    []ShardMetrics   `json:"shards"`
+}
+
+// MetricsMigration tallies the posterior migration passes run by admin
+// membership changes.
+type MetricsMigration struct {
+	// Passes counts migration passes (one per effective membership
+	// change); Migrated/Failed/Skipped count posteriors across all of
+	// them, Bytes the payload moved.
+	Passes   int64 `json:"passes"`
+	Migrated int64 `json:"migrated"`
+	Failed   int64 `json:"failed"`
+	Skipped  int64 `json:"skipped"`
+	Bytes    int64 `json:"bytes"`
 }
 
 // ShardMetrics is one backend's routing state and forwarding counters.
@@ -46,6 +61,13 @@ type ShardMetrics struct {
 	// requests the limiter turned away at this shard.
 	Inflight int64 `json:"inflight"`
 	Rejected int64 `json:"rejected"`
+	// QueueDepth and Running mirror the shard's last /readyz probe — the
+	// per-shard load gauge (groundwork for load-aware ring weighting).
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// DrainState is non-empty while the admin API holds the shard out of
+	// the ring ("draining" or "drained").
+	DrainState string `json:"drain_state,omitempty"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -60,8 +82,15 @@ func (rt *Router) Snapshot() Metrics {
 		ListFanouts:        rt.listFanouts.Load(),
 		ShardInflightLimit: rt.cfg.ShardInflight,
 		Saturated:          rt.saturated.Load(),
+		Migration: MetricsMigration{
+			Passes:   rt.migrPasses.Load(),
+			Migrated: rt.migrMigrated.Load(),
+			Failed:   rt.migrFailed.Load(),
+			Skipped:  rt.migrSkipped.Load(),
+			Bytes:    rt.migrBytes.Load(),
+		},
 	}
-	for _, sh := range rt.shards {
+	for _, sh := range rt.shardList() {
 		sh.mu.Lock()
 		sm := ShardMetrics{
 			Base:                sh.base,
@@ -74,10 +103,13 @@ func (rt *Router) Snapshot() Metrics {
 			Retried:             sh.retried.Load(),
 			Inflight:            sh.inflight.Load(),
 			Rejected:            sh.rejected.Load(),
+			QueueDepth:          sh.queueDepth,
+			Running:             sh.running,
+			DrainState:          sh.drain,
 		}
-		ready := sh.ready
+		inRing := sh.ready && sh.drain == ""
 		sh.mu.Unlock()
-		if ready {
+		if inRing {
 			m.RingShards++
 		} else {
 			m.UnhealthyShards++

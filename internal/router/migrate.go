@@ -1,0 +1,385 @@
+package router
+
+// Membership mutation and the posterior migration engine. Every
+// membership change follows the same shape:
+//
+//  1. capture the current ring generation,
+//  2. mutate membership (append a shard / fence one behind a drain state),
+//  3. rebuild the ring under rebuildMu,
+//  4. run a migration pass against the old-vs-new ring diff: stream each
+//     remapped posterior from its losing shard to its new owner, deleting
+//     the source copy only after the destination acknowledged the import.
+//
+// The pass is idempotent and fail-safe by construction: a transfer that
+// dies anywhere before the destination's 2xx leaves the source snapshot
+// untouched (it simply counts as failed and can be re-driven by a later
+// pass), a duplicate PUT replaces the same entry in place, and an
+// unacknowledged delete at worst leaves a duplicate the next pass prunes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+var errShardExists = errors.New("router: shard is already an active member")
+
+// addShard registers a new backend (or reactivates a drained member) and
+// rebalances remapped posteriors onto it. The new shard enters pessimistic
+// (out of the ring) and is admitted by a synchronous probe, so a dead base
+// URL is registered but owns no arcs until it answers.
+func (rt *Router) addShard(ctx context.Context, base string) (*encode.AddShardResponse, error) {
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+
+	if sh := rt.findShard(base); sh != nil {
+		sh.mu.Lock()
+		wasDrained := sh.drain != ""
+		sh.drain = ""
+		sh.mu.Unlock()
+		if !wasDrained {
+			return nil, errShardExists
+		}
+		// Reactivation: lift the drain fence, re-probe, and migrate the
+		// shard's old arcs (and their posteriors) back onto it.
+		oldRing := rt.currentRing()
+		rt.probeShard(ctx, sh)
+		rt.rebuildRing()
+		rep := rt.rebalance(ctx, oldRing, rt.currentRing(), nil)
+		return &encode.AddShardResponse{Shard: rt.shardInfo(sh), Reactivated: true, Migration: rep}, nil
+	}
+
+	oldRing := rt.currentRing()
+	sh := &shard{name: base, base: base}
+	rt.mu.Lock()
+	rt.shards = append(rt.shards, sh)
+	rt.mu.Unlock()
+	rt.probeShard(ctx, sh)
+	// The probe rebuilds only on a readiness transition; rebuild once more
+	// unconditionally so the install is never skipped.
+	rt.rebuildRing()
+	rep := rt.rebalance(ctx, oldRing, rt.currentRing(), nil)
+	return &encode.AddShardResponse{Shard: rt.shardInfo(sh), Migration: rep}, nil
+}
+
+// removeShard ejects a member. mode "drain" fences the shard, waits for
+// its in-flight jobs (bounded by deadline), and migrates every retained
+// posterior to its new owner before ejecting; "immediate" ejects with no
+// wait and no migration — the escape hatch for a shard that is already
+// dead and can serve nothing.
+func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadline time.Duration) *encode.DrainReport {
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	rep := &encode.DrainReport{Mode: mode, Removed: true}
+
+	sh.mu.Lock()
+	alreadyGone := sh.removed
+	sh.drain = "draining"
+	sh.mu.Unlock()
+	if alreadyGone { // lost a race with a concurrent remove: nothing left to do
+		rep.Shard = rt.shardInfo(sh)
+		return rep
+	}
+	oldRing := rt.currentRing()
+	rt.rebuildRing() // fence: the shard owns no arcs, new solves stop landing
+	newRing := rt.currentRing()
+
+	if mode == "drain" {
+		rep.TimedOut, rep.WaitedMillis, rep.InflightAtEnd = rt.awaitQuiesce(ctx, sh, deadline)
+		rep.Migration = rt.rebalance(ctx, oldRing, newRing, sh)
+	}
+
+	// Eject from membership. removed is set before the slice and instance
+	// table are touched so a stale probe or relay observing the pointer
+	// can never re-register it.
+	sh.mu.Lock()
+	sh.removed = true
+	instance := sh.instance
+	sh.mu.Unlock()
+	rt.mu.Lock()
+	for i, s := range rt.shards {
+		if s == sh {
+			rt.shards = append(rt.shards[:i], rt.shards[i+1:]...)
+			break
+		}
+	}
+	if instance != "" && rt.byInstance[instance] == sh {
+		delete(rt.byInstance, instance)
+	}
+	rt.mu.Unlock()
+	rep.Shard = rt.shardInfo(sh)
+	return rep
+}
+
+// drainShard fences a member and migrates its posteriors like a drain-mode
+// removal, but keeps it registered in state "drained" — the
+// decommission-later half of the drain state machine. POST
+// /admin/v1/shards with the same base reactivates it.
+func (rt *Router) drainShard(ctx context.Context, sh *shard, deadline time.Duration) *encode.DrainReport {
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	rep := &encode.DrainReport{Mode: "drain"}
+
+	sh.mu.Lock()
+	already := sh.drain == "drained"
+	sh.drain = "draining"
+	sh.mu.Unlock()
+	oldRing := rt.currentRing()
+	rt.rebuildRing()
+	if !already {
+		rep.TimedOut, rep.WaitedMillis, rep.InflightAtEnd = rt.awaitQuiesce(ctx, sh, deadline)
+		rep.Migration = rt.rebalance(ctx, oldRing, rt.currentRing(), sh)
+	}
+	sh.mu.Lock()
+	sh.drain = "drained"
+	sh.mu.Unlock()
+	rep.Shard = rt.shardInfo(sh)
+	return rep
+}
+
+// awaitQuiesce polls the shard's /readyz until its queued+running count
+// reaches zero, the deadline passes, or the shard stops answering
+// repeatedly (a dead shard never quiesces — waiting out a long deadline
+// on it would stall the admin call for nothing).
+func (rt *Router) awaitQuiesce(ctx context.Context, sh *shard, deadline time.Duration) (timedOut bool, waitedMillis int64, inflight int) {
+	start := time.Now()
+	end := start.Add(deadline)
+	failures := 0
+	for {
+		var rs encode.HealthStatus
+		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+		answered := rt.probeGetAny(pctx, sh, "/readyz", &rs)
+		cancel()
+		if answered {
+			failures = 0
+			inflight = rs.QueueDepth + rs.Running
+			if inflight == 0 {
+				return false, time.Since(start).Milliseconds(), 0
+			}
+		} else {
+			failures++
+			inflight = -1
+			if failures >= 3 {
+				return true, time.Since(start).Milliseconds(), inflight
+			}
+		}
+		if !time.Now().Before(end) {
+			return true, time.Since(start).Milliseconds(), inflight
+		}
+		select {
+		case <-ctx.Done():
+			return true, time.Since(start).Milliseconds(), inflight
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// probeGetAny fetches a health endpoint accepting any decodable response
+// (unlike probeGet it does not require a 200 — a draining or saturated
+// 503 still carries the occupancy the quiesce wait needs).
+func (rt *Router) probeGetAny(ctx context.Context, sh *shard, path string, out *encode.HealthStatus) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.base+path, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out) == nil
+}
+
+// rebalance runs one posterior migration pass between two ring
+// generations. With only == nil (a shard joined) every live member's index
+// is scanned and the old-vs-new arc diff prefilters which posteriors
+// could have remapped; with only set (that shard is leaving) just its
+// index is scanned and every posterior moves — a departing shard owns
+// nothing under the new ring, so the arc diff is beside the point.
+func (rt *Router) rebalance(ctx context.Context, oldRing, newRing *ring, only *shard) encode.MigrationReport {
+	rep := encode.MigrationReport{}
+	arcs := encode.ChangedArcs(oldRing.encodePoints(), newRing.encodePoints())
+	var sources []*shard
+	if only != nil {
+		sources = []*shard{only}
+	} else {
+		if !arcs.Any() {
+			return rep // same routing: nothing can have remapped
+		}
+		for _, sh := range rt.shardList() {
+			if sh.isAlive() {
+				sources = append(sources, sh)
+			}
+		}
+	}
+	rt.migrPasses.Add(1)
+	for _, src := range sources {
+		idx, err := rt.fetchPosteriorIndex(ctx, src, "")
+		if err != nil {
+			log.Printf("phmse-router: migration: indexing %s: %v", src.name, err)
+			rep.Failed++
+			rt.migrFailed.Add(1)
+			continue
+		}
+		for _, info := range idx.Posteriors {
+			if info.TopologyHash == "" {
+				rep.Skipped++
+				rt.migrSkipped.Add(1)
+				continue
+			}
+			if only == nil && !arcs.Contains(encode.KeyHash(info.TopologyHash)) {
+				continue
+			}
+			dst := newRing.lookup(info.TopologyHash)
+			if dst == nil || dst == src {
+				// No destination (empty ring) or the key still lives here.
+				if only != nil || dst == nil {
+					rep.Skipped++
+					rt.migrSkipped.Add(1)
+				}
+				continue
+			}
+			if err := rt.transferPosterior(ctx, src, dst, info); err != nil {
+				log.Printf("phmse-router: migrating %s (%s -> %s): %v", info.Job, src.name, dst.name, err)
+				rep.Failed++
+				rt.migrFailed.Add(1)
+				continue
+			}
+			rep.Migrated++
+			rep.Bytes += info.Bytes
+			rt.migrMigrated.Add(1)
+			rt.migrBytes.Add(info.Bytes)
+		}
+	}
+	return rep
+}
+
+// transferPosterior moves one retained posterior: export the full
+// document from the source, import it into the destination, and delete
+// the source copy only after the destination's ack. Any failure before
+// the ack returns an error with the source untouched; a failure of the
+// delete itself is logged but not an error — the posterior is safely at
+// its new owner, and the stale source copy is pruned by a later pass.
+func (rt *Router) transferPosterior(ctx context.Context, src, dst *shard, info encode.PosteriorInfo) error {
+	tctx, cancel := context.WithTimeout(ctx, rt.cfg.MigrateTimeout)
+	defer cancel()
+	esc := url.PathEscape(info.Job)
+
+	doc, err := rt.adminDo(tctx, http.MethodGet, src.base+"/v1/jobs/"+esc+"/posterior?cov=full", nil)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	if _, err := rt.adminDo(tctx, http.MethodPut, dst.base+"/v1/posteriors/"+esc, doc); err != nil {
+		return fmt.Errorf("import: %w", err)
+	}
+	if _, err := rt.adminDo(tctx, http.MethodDelete, src.base+"/v1/posteriors/"+esc, nil); err != nil {
+		log.Printf("phmse-router: migration: deleting %s from %s after ack: %v", info.Job, src.name, err)
+	}
+	return nil
+}
+
+// adminDo issues one migration-protocol request, presenting the router's
+// admin token, and returns the response body of a 2xx (a non-2xx is an
+// error carrying the status and the body's leading bytes).
+func (rt *Router) adminDo(ctx context.Context, method, u string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if rt.cfg.AdminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.cfg.AdminToken)
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := string(data)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, msg)
+	}
+	return data, nil
+}
+
+// fetchPosteriorIndex reads one shard's retained-posterior index.
+func (rt *Router) fetchPosteriorIndex(ctx context.Context, sh *shard, prefix string) (encode.PosteriorIndex, error) {
+	u := sh.base + "/v1/posteriors"
+	if prefix != "" {
+		u += "?prefix=" + url.QueryEscape(prefix)
+	}
+	var idx encode.PosteriorIndex
+	data, err := rt.adminDo(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return idx, err
+	}
+	return idx, json.Unmarshal(data, &idx)
+}
+
+// holdsPosterior verifies a shard still retains the posterior of jobID
+// with an exact-id index query. Errors count as holding: when the shard
+// cannot be asked (down, or predates the index endpoint), the router
+// falls back to the instance-qualifier routing that was correct before
+// migrations existed.
+func (rt *Router) holdsPosterior(ctx context.Context, sh *shard, jobID string) bool {
+	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	idx, err := rt.fetchPosteriorIndex(pctx, sh, jobID)
+	if err != nil {
+		return true
+	}
+	for _, info := range idx.Posteriors {
+		if info.Job == jobID {
+			return true
+		}
+	}
+	return false
+}
+
+// locatePosterior finds the live shard retaining a posterior whose job
+// id's instance qualifier no longer names a member — the shard that
+// minted it was removed and its posteriors migrated. Exact-id index
+// queries fan out to the live shards; the first holder wins (migration
+// guarantees at most one current owner, stale duplicates serve the same
+// document).
+func (rt *Router) locatePosterior(ctx context.Context, jobID string) *shard {
+	for _, sh := range rt.shardList() {
+		if !sh.isAlive() {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+		idx, err := rt.fetchPosteriorIndex(pctx, sh, jobID)
+		cancel()
+		if err != nil {
+			continue
+		}
+		for _, info := range idx.Posteriors {
+			if info.Job == jobID {
+				return sh
+			}
+		}
+	}
+	return nil
+}

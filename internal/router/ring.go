@@ -1,10 +1,10 @@
 package router
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"phmse/internal/encode"
 )
 
 // ring is an immutable consistent-hash ring over shards. Each shard
@@ -24,12 +24,10 @@ type ringPoint struct {
 }
 
 // hashPoint positions a routing key or virtual-node label on the ring.
-// sha256 rather than a cheaper hash: routing keys are content hashes that
-// must spread uniformly, and ring construction is off the hot path.
-func hashPoint(s string) uint64 {
-	sum := sha256.Sum256([]byte(s))
-	return binary.BigEndian.Uint64(sum[:8])
-}
+// It delegates to encode.KeyHash — the same function the migration
+// arc-diff uses — because a key the router and the diff place differently
+// would migrate to (or stay on) the wrong shard.
+func hashPoint(s string) uint64 { return encode.KeyHash(s) }
 
 // buildRing places vnodes virtual points per shard. The vnode label hashes
 // the shard's stable name, never its membership generation, so a shard
@@ -43,6 +41,16 @@ func buildRing(shards []*shard, vnodes int) *ring {
 	}
 	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
 	return r
+}
+
+// encodePoints exports the ring's virtual nodes in the wire-layer form
+// the arc-diff helpers consume.
+func (r *ring) encodePoints() []encode.RingPoint {
+	pts := make([]encode.RingPoint, len(r.points))
+	for i, p := range r.points {
+		pts[i] = encode.RingPoint{Hash: p.hash, Owner: p.sh.name}
+	}
+	return pts
 }
 
 // lookup returns the shard owning key: the first point at or clockwise of

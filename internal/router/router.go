@@ -28,6 +28,12 @@
 // failures and 5xx responses are retried (and failed over) only where a
 // replay is safe. When no shard can serve a request the router answers
 // 503 with the structured error envelope (code no_shard).
+//
+// Cluster membership is elastic: the /admin/v1 control plane (see
+// admin.go) adds, drains, and removes shards at runtime, mutating the
+// ring under the same rebuild serialization health transitions use, and
+// every membership change runs a posterior migration pass (migrate.go) so
+// warm-start state follows its keys to their new owners.
 package router
 
 import (
@@ -82,6 +88,19 @@ type Config struct {
 	// semantics: transport failures and 5xx responses are retried for
 	// idempotent GETs only, with jittered exponential backoff.
 	Retry client.RetryPolicy
+	// AdminToken, when set, gates the /admin/v1 control plane behind
+	// "Authorization: Bearer <token>" and is presented by the router on
+	// the daemons' mutating posterior-transfer endpoints during migration
+	// — deploy one token cluster-wide. Empty leaves the admin API open
+	// (the test and localhost default).
+	AdminToken string
+	// DrainDeadline bounds how long a graceful drain waits for a shard's
+	// in-flight jobs before migrating and ejecting anyway (default 30s).
+	// Per-request ?deadline_ms= overrides it.
+	DrainDeadline time.Duration
+	// MigrateTimeout bounds one posterior transfer (export + import +
+	// delete) during a migration pass (default 10s).
+	MigrateTimeout time.Duration
 	// HTTPClient overrides the forwarding/probing client.
 	HTTPClient *http.Client
 }
@@ -114,6 +133,12 @@ func (c Config) withDefaults() Config {
 	if c.Retry.MaxDelay <= 0 {
 		c.Retry.MaxDelay = time.Second
 	}
+	if c.DrainDeadline <= 0 {
+		c.DrainDeadline = 30 * time.Second
+	}
+	if c.MigrateTimeout <= 0 {
+		c.MigrateTimeout = 10 * time.Second
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
 	}
@@ -134,6 +159,20 @@ type shard struct {
 	instance    string
 	consecFails int
 	nextProbe   time.Time
+	// drain is the admin drain state machine: "" (active member),
+	// "draining" (fenced from the ring, drain in progress), or "drained"
+	// (a completed POST .../drain holding the member out of the ring
+	// until it is removed or reactivated).
+	drain string
+	// removed marks a shard ejected from membership by the admin API.
+	// Stale probes and relays still holding the pointer check it so a
+	// removed shard can never be resurrected into the instance table or
+	// the ring.
+	removed bool
+	// queueDepth and running mirror the shard's last /readyz document —
+	// the per-probe load signal exposed as a /metrics gauge.
+	queueDepth int
+	running    int
 
 	forwarded, failed, retried atomic.Int64
 	// inflight is the counting semaphore behind Config.ShardInflight;
@@ -145,6 +184,12 @@ func (sh *shard) isAlive() bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return sh.alive
+}
+
+func (sh *shard) drainState() string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.drain
 }
 
 // Router is the phmse-router HTTP handler plus its health prober. Create
@@ -167,9 +212,17 @@ type Router struct {
 	// and install a ring built from a stale snapshot.
 	rebuildMu sync.Mutex
 
+	// adminMu serializes admin membership operations (add, remove, drain)
+	// end to end, including their migration passes: overlapping
+	// membership changes would race on which ring generation a posterior
+	// should move under. Never held together with rt.mu.
+	adminMu sync.Mutex
+
 	forwarded, failed, retried atomic.Int64
 	noShard, listFanouts       atomic.Int64
 	saturated                  atomic.Int64
+
+	migrPasses, migrMigrated, migrFailed, migrSkipped, migrBytes atomic.Int64
 }
 
 // New builds a router over the configured shards and starts its health
@@ -210,6 +263,10 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReady)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /admin/v1/shards", rt.adminAuth(rt.handleAdminShards))
+	rt.mux.HandleFunc("POST /admin/v1/shards", rt.adminAuth(rt.handleAdminAddShard))
+	rt.mux.HandleFunc("DELETE /admin/v1/shards/{name}", rt.adminAuth(rt.handleAdminRemoveShard))
+	rt.mux.HandleFunc("POST /admin/v1/shards/{name}/drain", rt.adminAuth(rt.handleAdminDrainShard))
 
 	go rt.probeLoop()
 	return rt, nil
@@ -230,19 +287,38 @@ func (rt *Router) Close() {
 	<-rt.done
 }
 
-// rebuildRing reassembles the ring from the currently ready shards.
-// rebuildMu makes snapshot-and-install atomic with respect to other
-// rebuilds: every transition updates its shard's state before calling
-// here, so whichever rebuild runs last reads (and installs) a ring that
-// reflects all earlier transitions — a stale ring can never outlast the
-// final rebuild of a burst.
+// shardList returns a point-in-time copy of the membership slice. With
+// dynamic membership the slice mutates at runtime, so every iteration —
+// probing, broadcasting, metrics — goes through this copy instead of
+// reading rt.shards unlocked.
+func (rt *Router) shardList() []*shard {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]*shard(nil), rt.shards...)
+}
+
+// currentRing returns the installed ring generation.
+func (rt *Router) currentRing() *ring {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring
+}
+
+// rebuildRing reassembles the ring from the currently ready, undrained
+// shards. rebuildMu makes snapshot-and-install atomic with respect to
+// other rebuilds: every transition updates its shard's state before
+// calling here, so whichever rebuild runs last reads (and installs) a
+// ring that reflects all earlier transitions — a stale ring can never
+// outlast the final rebuild of a burst. Draining and removed shards are
+// fenced here, so a healthy probe can never readmit them.
 func (rt *Router) rebuildRing() {
 	rt.rebuildMu.Lock()
 	defer rt.rebuildMu.Unlock()
-	ready := make([]*shard, 0, len(rt.shards))
-	for _, sh := range rt.shards {
+	shards := rt.shardList()
+	ready := make([]*shard, 0, len(shards))
+	for _, sh := range shards {
 		sh.mu.Lock()
-		if sh.ready {
+		if sh.ready && sh.drain == "" && !sh.removed {
 			ready = append(ready, sh)
 		}
 		sh.mu.Unlock()
@@ -274,9 +350,15 @@ func (rt *Router) shardForJob(id string) *shard {
 }
 
 // learnInstance records a shard's self-reported instance id, keeping the
-// instance → shard table current across restarts that change identity.
+// instance → shard table current across restarts that change identity. A
+// removed shard is never recorded: a probe or relay still in flight when
+// the admin API ejected it must not resurrect the mapping.
 func (rt *Router) learnInstance(instance string, sh *shard) {
 	sh.mu.Lock()
+	if sh.removed {
+		sh.mu.Unlock()
+		return
+	}
 	old := sh.instance
 	sh.instance = instance
 	sh.mu.Unlock()
@@ -444,12 +526,29 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Warm-started submissions must land on the shard retaining the
-	// referenced posterior — the job id's instance qualifier names it.
-	// An unqualified or unknown reference falls through to ring routing:
-	// identical topologies route to the posterior's shard anyway, and a
-	// wrong shard answers an honest 404/409.
+	// referenced posterior — the job id's instance qualifier names the
+	// shard that minted it. Since a migration pass may have moved the
+	// posterior off its minting shard (membership changed), the qualifier
+	// is a hint, verified with an exact-id index query; when it fails — or
+	// the qualifier names no current member — the posterior indexes of the
+	// live shards locate the current holder. A still-unresolved reference
+	// falls through to ring routing: identical topologies route to the
+	// posterior's shard anyway, and a wrong shard answers an honest
+	// 404/409.
 	if warmRef != nil {
-		if sh := rt.shardForJob(warmRef.Job); sh != nil {
+		sh := rt.shardForJob(warmRef.Job)
+		if sh != nil && !rt.holdsPosterior(r.Context(), sh, warmRef.Job) {
+			sh = nil
+		}
+		if sh == nil {
+			sh = rt.locatePosterior(r.Context(), warmRef.Job)
+		}
+		if sh != nil {
+			if sh.drainState() != "" {
+				writeError(w, http.StatusServiceUnavailable, encode.CodeDraining,
+					fmt.Sprintf("shard %s is draining; its posteriors are migrating — retry", sh.name))
+				return
+			}
 			if !rt.forwardTo(w, r, sh, "/v1/solve", body) {
 				rt.writeNoShard(w)
 			}
@@ -512,7 +611,7 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sawNotFound, sawSaturated := false, false
-	for _, sh := range rt.shards {
+	for _, sh := range rt.shardList() {
 		if !sh.isAlive() {
 			continue
 		}
@@ -578,10 +677,11 @@ type RouterHealth struct {
 }
 
 func (rt *Router) shardCounts() (total, ready int) {
-	total = len(rt.shards)
-	for _, sh := range rt.shards {
+	shards := rt.shardList()
+	total = len(shards)
+	for _, sh := range shards {
 		sh.mu.Lock()
-		if sh.ready {
+		if sh.ready && sh.drain == "" {
 			ready++
 		}
 		sh.mu.Unlock()

@@ -49,12 +49,13 @@ func cheapParams() encode.SolveParams {
 // backend is one phmsed instance under the router, restartable on a
 // stable address so shard-restart scenarios can be exercised.
 type backend struct {
-	name string
-	dir  string
-	addr string
-	srv  *server.Server
-	ts   *httptest.Server
-	up   bool
+	name  string
+	dir   string
+	addr  string
+	token string // server-side AdminToken gating posterior imports
+	srv   *server.Server
+	ts    *httptest.Server
+	up    bool
 }
 
 func (b *backend) start(t *testing.T) {
@@ -74,6 +75,7 @@ func (b *backend) start(t *testing.T) {
 		PosteriorBytes: 64 << 20,
 		InstanceID:     b.name,
 		PosteriorDir:   b.dir,
+		AdminToken:     b.token,
 	})
 	b.ts = &httptest.Server{Listener: l, Config: &http.Server{Handler: b.srv}}
 	b.ts.Start()
@@ -105,20 +107,32 @@ type cluster struct {
 
 func newCluster(t *testing.T, n int) *cluster {
 	t.Helper()
+	return newClusterWith(t, n, "", nil)
+}
+
+// newClusterWith starts a cluster whose backends and router share the
+// given admin token and whose router config may be adjusted before New.
+func newClusterWith(t *testing.T, n int, token string, mut func(*Config)) *cluster {
+	t.Helper()
 	cl := &cluster{}
 	var bases []string
 	for i := 0; i < n; i++ {
-		b := &backend{name: fmt.Sprintf("s%d", i+1), dir: t.TempDir()}
+		b := &backend{name: fmt.Sprintf("s%d", i+1), dir: t.TempDir(), token: token}
 		b.start(t)
 		cl.backends = append(cl.backends, b)
 		bases = append(bases, b.url())
 	}
-	rt, err := New(Config{
+	cfg := Config{
 		Shards:        bases,
 		ProbeInterval: 50 * time.Millisecond,
 		ProbeTimeout:  2 * time.Second,
+		AdminToken:    token,
 		Retry:         client.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
-	})
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	rt, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,7 +44,10 @@ var (
 
 // job is one submitted solve and its full lifecycle record.
 type job struct {
-	id      string
+	id string
+	// shard is the owning daemon's instance id, reported as the stable
+	// "shard" field of the v1 job status (immutable after submit).
+	shard   string
 	problem *molecule.Problem
 	params  encode.SolveParams
 	warm    *storedPosterior // non-nil for warm-started solves
@@ -76,6 +79,7 @@ func (j *job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:            j.id,
+		Shard:         j.shard,
 		State:         j.state,
 		Problem:       j.problem.Name,
 		Atoms:         len(j.problem.Atoms),
@@ -286,6 +290,7 @@ func (m *manager) submit(p *molecule.Problem, params encode.SolveParams, warm *s
 	// id back to its owning shard.
 	j := &job{
 		id:        encode.QualifyJob(m.cfg.InstanceID, fmt.Sprintf("job-%06d", m.nextID)),
+		shard:     m.cfg.InstanceID,
 		problem:   p,
 		params:    params,
 		warm:      warm,

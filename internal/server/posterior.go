@@ -55,6 +55,7 @@ type posteriorStore struct {
 
 	hits, misses, stored, rejected, evicted int64
 	persisted, loaded                       int64
+	imported, removed                       int64
 }
 
 func newPosteriorStore(maxBytes int64, dir string) *posteriorStore {
@@ -158,6 +159,74 @@ func (ps *posteriorStore) maxJobSeq() int64 {
 		}
 	}
 	return max
+}
+
+// putImported admits a posterior received over the transfer API
+// (PUT /v1/posteriors/{id}) — put semantics plus the import counter.
+// Re-importing an id the store already holds replaces the entry in place
+// (insertLocked's same-id path), which is what makes duplicate transfer
+// PUTs idempotent.
+func (ps *posteriorStore) putImported(sp *storedPosterior) bool {
+	if !ps.put(sp) {
+		return false
+	}
+	ps.mu.Lock()
+	ps.imported++
+	ps.mu.Unlock()
+	return true
+}
+
+// remove deletes a posterior and its disk snapshot, reporting whether the
+// id was present. This is the migration ack path: the router calls
+// DELETE /v1/posteriors/{id} on the source only after the destination
+// acknowledged the import, so a failed transfer never loses the snapshot.
+func (ps *posteriorStore) remove(jobID string) bool {
+	ps.mu.Lock()
+	el, ok := ps.entries[jobID]
+	if ok {
+		sp := el.Value.(*storedPosterior)
+		ps.bytes -= sp.bytes
+		ps.order.Remove(el)
+		delete(ps.entries, jobID)
+		ps.removed++
+	}
+	ps.mu.Unlock()
+	if ok {
+		ps.removeSnapshot(jobID)
+	}
+	return ok
+}
+
+// index lists the retained posteriors whose job id starts with prefix
+// ("" lists everything), without touching recency — a migration scan must
+// not perturb the LRU order real traffic established. The listing is
+// sorted by job id so pages are stable across calls.
+func (ps *posteriorStore) index(prefix string) encode.PosteriorIndex {
+	ps.mu.Lock()
+	out := encode.PosteriorIndex{
+		Posteriors:    []encode.PosteriorInfo{},
+		TotalBytes:    ps.bytes,
+		CapacityBytes: ps.maxBytes,
+	}
+	for el := ps.order.Front(); el != nil; el = el.Next() {
+		sp := el.Value.(*storedPosterior)
+		if prefix != "" && !strings.HasPrefix(sp.jobID, prefix) {
+			continue
+		}
+		out.Posteriors = append(out.Posteriors, encode.PosteriorInfo{
+			Job:           sp.jobID,
+			Problem:       sp.problem,
+			TopologyHash:  sp.topoHash,
+			StructureHash: sp.structHash,
+			Atoms:         len(sp.post.Positions),
+			Bytes:         sp.bytes,
+		})
+	}
+	ps.mu.Unlock()
+	sort.Slice(out.Posteriors, func(i, j int) bool {
+		return out.Posteriors[i].Job < out.Posteriors[j].Job
+	})
+	return out
 }
 
 // get returns the retained posterior of a job, bumping its recency.
@@ -288,6 +357,7 @@ type posteriorStats struct {
 	bytes, capacity                         int64
 	hits, misses, stored, rejected, evicted int64
 	persisted, loaded                       int64
+	imported, removed                       int64
 }
 
 func (ps *posteriorStore) stats() posteriorStats {
@@ -304,5 +374,7 @@ func (ps *posteriorStore) stats() posteriorStats {
 		evicted:   ps.evicted,
 		persisted: ps.persisted,
 		loaded:    ps.loaded,
+		imported:  ps.imported,
+		removed:   ps.removed,
 	}
 }

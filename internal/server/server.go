@@ -19,6 +19,10 @@
 //	GET  /v1/jobs/{id}/posterior retained posterior (?cov=full for the
 //	                             full covariance matrix)
 //	POST /v1/jobs/{id}/cancel    cancel a queued or running job
+//	GET  /v1/posteriors          index of retained posteriors (?prefix=)
+//	PUT  /v1/posteriors/{id}     import a posterior document (migration
+//	                             ingest; budget-enforced, idempotent)
+//	DELETE /v1/posteriors/{id}   drop a retained posterior (migration ack)
 //	GET  /healthz                liveness (503 while draining)
 //	GET  /readyz                 readiness (503 while draining or when the
 //	                             job queue is saturated)
@@ -120,6 +124,13 @@ type Config struct {
 	// posteriors survive daemon restarts. Evicted posteriors have their
 	// snapshots removed alongside.
 	PosteriorDir string
+	// AdminToken, when set, gates the mutating posterior-transfer
+	// endpoints (PUT/DELETE /v1/posteriors/{id}) behind
+	// "Authorization: Bearer <token>". Deploy the same token on every
+	// daemon and on the router (-admin-token) so migration passes
+	// authenticate cluster-wide; empty leaves the endpoints open (the
+	// single-daemon and test default).
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +220,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/posterior", s.handleJobPosterior)
+	s.mux.HandleFunc("GET /v1/posteriors", s.handlePosteriorIndex)
+	s.mux.HandleFunc("PUT /v1/posteriors/{id}", s.handlePosteriorPut)
+	s.mux.HandleFunc("DELETE /v1/posteriors/{id}", s.handlePosteriorDelete)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -451,6 +465,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		InstanceID:    s.cfg.InstanceID,
 		QueueDepth:    depth,
 		QueueCapacity: s.cfg.QueueDepth,
+		Running:       s.mgr.countByState()[StateRunning],
 	}
 	switch {
 	case s.mgr.isDraining():
@@ -534,6 +549,11 @@ type MetricsPosteriorStore struct {
 	// disk-backed via Config.PosteriorDir).
 	Persisted int64 `json:"persisted,omitempty"`
 	Loaded    int64 `json:"loaded,omitempty"`
+	// Imported counts posteriors admitted over the transfer API
+	// (migration ingests); Removed counts explicit transfer deletes (the
+	// source side of an acked migration).
+	Imported int64 `json:"imported,omitempty"`
+	Removed  int64 `json:"removed,omitempty"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -575,6 +595,8 @@ func (s *Server) Snapshot() Metrics {
 			Evicted:       ps.evicted,
 			Persisted:     ps.persisted,
 			Loaded:        ps.loaded,
+			Imported:      ps.imported,
+			Removed:       ps.removed,
 		},
 		OpTimes: s.mgr.rec.Snapshot(),
 	}

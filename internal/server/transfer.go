@@ -1,0 +1,111 @@
+package server
+
+// The posterior-transfer endpoints: the phmsed side of the routing tier's
+// migration protocol. When cluster membership changes, phmse-router
+// enumerates each losing shard's retained posteriors via the index,
+// streams the full documents to their new owners via PUT, and deletes
+// each source copy only after the destination acknowledged — so a failed
+// transfer always leaves the posterior where it was.
+//
+//	GET    /v1/posteriors?prefix=   index (open: read-only, no state)
+//	PUT    /v1/posteriors/{id}      import one posterior (token-gated)
+//	DELETE /v1/posteriors/{id}      drop one posterior  (token-gated)
+//
+// Imports run through the same byte-budgeted store admission as locally
+// kept posteriors (over budget → 507 posterior_budget) and are idempotent:
+// re-PUTting an id the store already holds replaces the entry in place.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"phmse/internal/core"
+	"phmse/internal/encode"
+)
+
+// authTransfer enforces the bearer token on mutating transfer endpoints
+// when Config.AdminToken is set. The index stays open: it exposes only
+// ids, hashes, and sizes, and the router needs it for read-only warm-start
+// location even when it lacks a token.
+func (s *Server) authTransfer(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.AdminToken == "" || r.Header.Get("Authorization") == "Bearer "+s.cfg.AdminToken {
+		return true
+	}
+	writeError(w, http.StatusUnauthorized, encode.CodeUnauthorized,
+		"missing or invalid admin token", "")
+	return false
+}
+
+func (s *Server) handlePosteriorIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.posteriors.index(r.URL.Query().Get("prefix")))
+}
+
+func (s *Server) handlePosteriorPut(w http.ResponseWriter, r *http.Request) {
+	if !s.authTransfer(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	var doc encode.PosteriorDoc
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(body).Decode(&doc); err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("decoding posterior document: %v", err), "")
+		return
+	}
+	if doc.Job == "" {
+		doc.Job = id
+	}
+	if doc.Job != id {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("path id %q does not match document job %q", id, doc.Job), "")
+		return
+	}
+	// An imported posterior must satisfy everything a disk snapshot must:
+	// without a structure hash it could never validate a warm-start
+	// reference, so it would be dead weight in the store.
+	if doc.StructureHash == "" {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			"posterior document lacks a structure hash", "")
+		return
+	}
+	pos, coordVar, cov, err := doc.Decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("invalid posterior document: %v", err), "")
+		return
+	}
+	sp := &storedPosterior{
+		jobID:      doc.Job,
+		problem:    doc.Problem,
+		topoHash:   doc.TopologyHash,
+		structHash: doc.StructureHash,
+		post:       &core.Posterior{Positions: pos, CoordVariances: coordVar, Cov: cov},
+	}
+	if !s.mgr.posteriors.putImported(sp) {
+		writeError(w, http.StatusInsufficientStorage, encode.CodePosteriorBudget,
+			fmt.Sprintf("posterior of %d bytes does not fit the store budget", sp.post.Bytes()), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, encode.PosteriorInfo{
+		Job:           sp.jobID,
+		Problem:       sp.problem,
+		TopologyHash:  sp.topoHash,
+		StructureHash: sp.structHash,
+		Atoms:         len(sp.post.Positions),
+		Bytes:         sp.bytes,
+	})
+}
+
+func (s *Server) handlePosteriorDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.authTransfer(w, r) {
+		return
+	}
+	id := r.PathValue("id")
+	if !s.mgr.posteriors.remove(id) {
+		writeError(w, http.StatusNotFound, encode.CodeNotFound,
+			fmt.Sprintf("no retained posterior for %q", id), "")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": true, "job": id})
+}

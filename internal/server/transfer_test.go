@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"phmse/internal/client"
+	"phmse/internal/encode"
+)
+
+// doAuth issues a raw request with an optional bearer token and decodes
+// the JSON response — the transfer endpoints are exercised at wire level
+// because the router's migration pass speaks raw HTTP, not the client.
+func doAuth(t *testing.T, method, url, token string, body []byte, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestPosteriorTransferRoundTrip(t *testing.T) {
+	const token = "transfer-secret"
+	_, srcTS, srcC := newTestServer(t, Config{Workers: 2, InstanceID: "src", AdminToken: token})
+	dstSrv, dstTS, dstC := newTestServer(t, Config{Workers: 2, InstanceID: "dst", AdminToken: token})
+	ctx := context.Background()
+
+	p := helix(2)
+	params := quickParams()
+	params.KeepPosterior = true
+	st := submit(t, srcC, p, params)
+	waitState(t, srcC, st.ID, StateDone)
+
+	// Index lists the retained posterior with its routing hashes.
+	var idx encode.PosteriorIndex
+	if code := doAuth(t, http.MethodGet, srcTS.URL+"/v1/posteriors", "", nil, &idx); code != http.StatusOK {
+		t.Fatalf("index: status %d", code)
+	}
+	if len(idx.Posteriors) != 1 {
+		t.Fatalf("index: %d posteriors, want 1", len(idx.Posteriors))
+	}
+	info := idx.Posteriors[0]
+	if info.Job != st.ID || info.TopologyHash == "" || info.StructureHash == "" || info.Bytes <= 0 {
+		t.Fatalf("index entry incomplete: %+v", info)
+	}
+	// Prefix filtering: exact id matches, a foreign prefix does not.
+	if code := doAuth(t, http.MethodGet, srcTS.URL+"/v1/posteriors?prefix=zzz", "", nil, &idx); code != http.StatusOK || len(idx.Posteriors) != 0 {
+		t.Fatalf("prefix=zzz: status %d, %d entries", code, len(idx.Posteriors))
+	}
+
+	doc, err := srcC.Posterior(ctx, st.ID, true)
+	if err != nil {
+		t.Fatalf("fetching posterior: %v", err)
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Import on the destination, exactly as the router's migration does.
+	var imported encode.PosteriorInfo
+	if code := doAuth(t, http.MethodPut, dstTS.URL+"/v1/posteriors/"+st.ID, token, body, &imported); code != http.StatusOK {
+		t.Fatalf("put: status %d", code)
+	}
+	if imported.Job != st.ID || imported.StructureHash != info.StructureHash {
+		t.Fatalf("import response mismatch: %+v vs index %+v", imported, info)
+	}
+
+	// The destination can now warm-start from the migrated posterior even
+	// though it never ran the source job.
+	warm, err := dstC.WarmStart(ctx, p, quickParams(), st.ID)
+	if err != nil {
+		t.Fatalf("warm start on destination: %v", err)
+	}
+	wst := waitState(t, dstC, warm.ID, StateDone)
+	if wst.WarmStartFrom != st.ID {
+		t.Fatalf("warm job records warm_start_from=%q, want %q", wst.WarmStartFrom, st.ID)
+	}
+
+	// Source delete (the migration ack step), then a duplicate delete 404s.
+	if code := doAuth(t, http.MethodDelete, srcTS.URL+"/v1/posteriors/"+st.ID, token, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d", code)
+	}
+	if code := doAuth(t, http.MethodGet, srcTS.URL+"/v1/posteriors", "", nil, &idx); code != http.StatusOK || len(idx.Posteriors) != 0 {
+		t.Fatalf("source index after delete: status %d, %d entries", code, len(idx.Posteriors))
+	}
+	if code := doAuth(t, http.MethodDelete, srcTS.URL+"/v1/posteriors/"+st.ID, token, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("duplicate delete: status %d, want 404", code)
+	}
+	stats := dstSrv.mgr.posteriors.stats()
+	if stats.imported != 1 || stats.entries != 1 {
+		t.Fatalf("destination stats: imported=%d entries=%d, want 1/1", stats.imported, stats.entries)
+	}
+}
+
+// TestPosteriorPutIdempotent re-imports the same document: a retried
+// transfer (duplicate PUT after a lost ack) must replace in place, not
+// duplicate or fail.
+func TestPosteriorPutIdempotent(t *testing.T) {
+	srcSrv, srcTS, srcC := newTestServer(t, Config{Workers: 2, InstanceID: "src"})
+	_ = srcSrv
+	ctx := context.Background()
+
+	params := quickParams()
+	params.KeepPosterior = true
+	st := submit(t, srcC, helix(2), params)
+	waitState(t, srcC, st.ID, StateDone)
+	doc, err := srcC.Posterior(ctx, st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(doc)
+
+	dstSrv, dstTS, _ := newTestServer(t, Config{Workers: 2, InstanceID: "dst"})
+	for i := 0; i < 2; i++ {
+		if code := doAuth(t, http.MethodPut, dstTS.URL+"/v1/posteriors/"+st.ID, "", body, nil); code != http.StatusOK {
+			t.Fatalf("put #%d: status %d", i+1, code)
+		}
+	}
+	stats := dstSrv.mgr.posteriors.stats()
+	if stats.entries != 1 {
+		t.Fatalf("after duplicate PUT: %d entries, want 1", stats.entries)
+	}
+	if stats.imported != 2 {
+		t.Fatalf("after duplicate PUT: imported=%d, want 2", stats.imported)
+	}
+	_ = srcTS
+}
+
+func TestPosteriorPutValidation(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	params := quickParams()
+	params.KeepPosterior = true
+	st := submit(t, c, helix(2), params)
+	waitState(t, c, st.ID, StateDone)
+	doc, err := c.Posterior(ctx, st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var env struct {
+		Error encode.ErrorBody `json:"error"`
+	}
+	// Path id and document job disagree.
+	body, _ := json.Marshal(doc)
+	if code := doAuth(t, http.MethodPut, ts.URL+"/v1/posteriors/other-job", "", body, &env); code != http.StatusBadRequest {
+		t.Fatalf("id mismatch: status %d, want 400", code)
+	}
+	// Missing structure hash.
+	stripped := doc
+	stripped.StructureHash = ""
+	body, _ = json.Marshal(stripped)
+	if code := doAuth(t, http.MethodPut, ts.URL+"/v1/posteriors/"+st.ID, "", body, &env); code != http.StatusBadRequest {
+		t.Fatalf("missing structure hash: status %d, want 400", code)
+	}
+	// Undecodable payload.
+	if code := doAuth(t, http.MethodPut, ts.URL+"/v1/posteriors/"+st.ID, "", []byte("{"), &env); code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d, want 400", code)
+	}
+}
+
+func TestPosteriorPutBudget(t *testing.T) {
+	_, srcTS, srcC := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	params := quickParams()
+	params.KeepPosterior = true
+	st := submit(t, srcC, helix(2), params)
+	waitState(t, srcC, st.ID, StateDone)
+	doc, err := srcC.Posterior(ctx, st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(doc)
+	_ = srcTS
+
+	// A 16-byte budget cannot admit any real posterior.
+	_, tinyTS, _ := newTestServer(t, Config{Workers: 2, PosteriorBytes: 16})
+	var env struct {
+		Error encode.ErrorBody `json:"error"`
+	}
+	code := doAuth(t, http.MethodPut, tinyTS.URL+"/v1/posteriors/"+st.ID, "", body, &env)
+	if code != http.StatusInsufficientStorage {
+		t.Fatalf("over-budget import: status %d, want 507", code)
+	}
+	if env.Error.Code != encode.CodePosteriorBudget {
+		t.Fatalf("over-budget import: code %q, want %q", env.Error.Code, encode.CodePosteriorBudget)
+	}
+}
+
+func TestPosteriorTransferAuth(t *testing.T) {
+	const token = "s3cret"
+	_, ts, c := newTestServer(t, Config{Workers: 2, AdminToken: token})
+	ctx := context.Background()
+	params := quickParams()
+	params.KeepPosterior = true
+	st := submit(t, c, helix(2), params)
+	waitState(t, c, st.ID, StateDone)
+	doc, err := c.Posterior(ctx, st.ID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(doc)
+
+	var env struct {
+		Error encode.ErrorBody `json:"error"`
+	}
+	// Mutations without (or with a wrong) token are refused...
+	if code := doAuth(t, http.MethodPut, ts.URL+"/v1/posteriors/"+st.ID, "", body, &env); code != http.StatusUnauthorized {
+		t.Fatalf("tokenless PUT: status %d, want 401", code)
+	}
+	if env.Error.Code != encode.CodeUnauthorized {
+		t.Fatalf("tokenless PUT: code %q, want %q", env.Error.Code, encode.CodeUnauthorized)
+	}
+	if code := doAuth(t, http.MethodDelete, ts.URL+"/v1/posteriors/"+st.ID, "wrong", nil, &env); code != http.StatusUnauthorized {
+		t.Fatalf("wrong-token DELETE: status %d, want 401", code)
+	}
+	// ...the read-only index stays open...
+	if code := doAuth(t, http.MethodGet, ts.URL+"/v1/posteriors", "", nil, nil); code != http.StatusOK {
+		t.Fatalf("tokenless index: status %d, want 200", code)
+	}
+	// ...and the right token is accepted.
+	if code := doAuth(t, http.MethodPut, ts.URL+"/v1/posteriors/"+st.ID, token, body, nil); code != http.StatusOK {
+		t.Fatalf("tokened PUT: status %d, want 200", code)
+	}
+}
+
+// TestJobStatusShardField pins the documented v1 contract: every job
+// status names the instance that ran it, matching the X-Phmsed-Instance
+// response header identity.
+func TestJobStatusShardField(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 2, InstanceID: "shard-a"})
+	st := submit(t, c, helix(2), quickParams())
+	if st.Shard != "shard-a" {
+		t.Fatalf("submit status shard = %q, want shard-a", st.Shard)
+	}
+	done := waitState(t, c, st.ID, StateDone)
+	if done.Shard != "shard-a" {
+		t.Fatalf("done status shard = %q, want shard-a", done.Shard)
+	}
+	// The list surface carries it too.
+	jl, err := c.List(context.Background(), client.ListOptions{})
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(jl.Jobs) != 1 {
+		t.Fatalf("list: %d jobs, want 1", len(jl.Jobs))
+	}
+	for _, j := range jl.Jobs {
+		if j.Shard != "shard-a" {
+			t.Fatalf("listed job %s shard = %q, want shard-a", j.ID, j.Shard)
+		}
+	}
+}
