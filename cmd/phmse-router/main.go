@@ -42,6 +42,13 @@ func main() {
 		adminToken   = flag.String("admin-token", "", "bearer token required on /admin/v1 and presented to shards during migration (empty leaves the admin plane open)")
 		drainDL      = flag.Duration("drain-deadline", 30*time.Second, "default wait for a draining shard's in-flight jobs before migration proceeds")
 		migrTimeout  = flag.Duration("migrate-timeout", 10*time.Second, "per-posterior transfer timeout during migration passes")
+		repairEvery  = flag.Duration("repair-interval", 30*time.Second, "anti-entropy repair sweep period, jittered ±20% (negative disables the loop)")
+		repairConc   = flag.Int("repair-concurrency", 2, "max concurrent posterior transfers per repair sweep")
+		brkFailures  = flag.Int("breaker-failures", 3, "consecutive live-forward failures that open a shard's circuit breaker (-1 disables breaking)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open trial request is admitted")
+		flapCount    = flag.Int("breaker-flap-count", 3, "ring readmissions within the flap window that quarantine a shard (-1 disables flap suppression)")
+		flapWindow   = flag.Duration("breaker-flap-window", time.Minute, "sliding window for counting ring readmissions")
+		auditLog     = flag.String("audit-log", "", "append-only JSONL file recording membership changes and repair sweeps (empty keeps the in-memory tail only)")
 		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
 	)
 	flag.Parse()
@@ -69,16 +76,23 @@ func main() {
 	}
 	debugserve.Start(*pprofAddr)
 	rt, err := router.New(router.Config{
-		Shards:          bases,
-		VNodes:          *vnodes,
-		ProbeInterval:   *probeEvery,
-		ProbeTimeout:    *probeTimeout,
-		MaxProbeBackoff: *maxBackoff,
-		FailAfter:       *failAfter,
-		ShardInflight:   *inflight,
-		AdminToken:      *adminToken,
-		DrainDeadline:   *drainDL,
-		MigrateTimeout:  *migrTimeout,
+		Shards:            bases,
+		VNodes:            *vnodes,
+		ProbeInterval:     *probeEvery,
+		ProbeTimeout:      *probeTimeout,
+		MaxProbeBackoff:   *maxBackoff,
+		FailAfter:         *failAfter,
+		ShardInflight:     *inflight,
+		AdminToken:        *adminToken,
+		DrainDeadline:     *drainDL,
+		MigrateTimeout:    *migrTimeout,
+		RepairInterval:    *repairEvery,
+		RepairConcurrency: *repairConc,
+		BreakerFailures:   *brkFailures,
+		BreakerCooldown:   *brkCooldown,
+		FlapCount:         *flapCount,
+		FlapWindow:        *flapWindow,
+		AuditLog:          *auditLog,
 	})
 	if err != nil {
 		log.Fatalf("phmse-router: %v", err)

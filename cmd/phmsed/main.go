@@ -56,6 +56,7 @@ func main() {
 		instance     = flag.String("instance", "", "stable instance name; qualifies job ids for shard routing (letters, digits, - and _)")
 		posteriorDir = flag.String("posterior-dir", "", "directory for posterior snapshots; reloaded on startup for warm starts across restarts")
 		adminToken   = flag.String("admin-token", "", "bearer token required on posterior import/delete (PUT/DELETE /v1/posteriors); set to the router's -admin-token")
+		transferIn   = flag.Int("transfer-inflight", 0, "max concurrent posterior imports; excess PUTs answer 429 with Retry-After (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -64,8 +65,8 @@ func main() {
 		os.Exit(2)
 	}
 	if *workers < 0 || *procs < 0 || *maxProcs < 0 || *minTeam < 0 || *maxTeam < 0 ||
-		*queue < 1 || *maxRetries < 0 || *drainTimeout <= 0 {
-		fmt.Fprintln(os.Stderr, "phmsed: processor flags must be >= 0, -queue >= 1, -max-retries >= 0, -drain-timeout > 0")
+		*queue < 1 || *maxRetries < 0 || *drainTimeout <= 0 || *transferIn < 0 {
+		fmt.Fprintln(os.Stderr, "phmsed: processor flags must be >= 0, -queue >= 1, -max-retries >= 0, -drain-timeout > 0, -transfer-inflight >= 0")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,18 +86,19 @@ func main() {
 	}
 	debugserve.Start(*pprofAddr)
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		ProcsPerJob:    *procs,
-		MaxProcs:       *maxProcs,
-		MinTeam:        *minTeam,
-		MaxTeam:        *maxTeam,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		PosteriorBytes: posteriorBytes,
-		MaxRetries:     retries,
-		InstanceID:     *instance,
-		PosteriorDir:   *posteriorDir,
-		AdminToken:     *adminToken,
+		Workers:          *workers,
+		ProcsPerJob:      *procs,
+		MaxProcs:         *maxProcs,
+		MinTeam:          *minTeam,
+		MaxTeam:          *maxTeam,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		PosteriorBytes:   posteriorBytes,
+		MaxRetries:       retries,
+		InstanceID:       *instance,
+		PosteriorDir:     *posteriorDir,
+		AdminToken:       *adminToken,
+		TransferInflight: *transferIn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -1,0 +1,256 @@
+// Package chaosproxy is an HTTP fault-injection reverse proxy for
+// resilience testing: it sits between a client (typically phmse-router)
+// and one backend (typically a phmsed shard) and injects scripted faults
+// into the traffic passing through — added latency, connection resets
+// mid-response-body, synthetic 5xx/429 bursts, and blackholes that hold a
+// request open until the client gives up. The chaos test suites drive a
+// real multi-shard cluster through these proxies to prove the
+// self-healing layer's properties: circuit breakers open on live failures
+// and close after recovery, and anti-entropy repair converges every
+// posterior back onto its ring owner with none lost.
+//
+// Faults are scripted, not emergent: the active Fault is swapped
+// atomically (Set/Clear), the dice are a seeded deterministic PRNG, and a
+// Match predicate scopes faults to chosen requests (e.g. only /v1/
+// traffic, keeping health probes clean). A proxy whose backend is down
+// answers 502 — exactly what a crashed shard looks like through real
+// infrastructure.
+package chaosproxy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxProxyBody bounds one buffered backend response (the mid-body reset
+// needs the full body in hand to promise a Content-Length it then breaks).
+const maxProxyBody = 256 << 20
+
+// Fault is one injection script. Probabilities are rolled per matched
+// request in the order reset → error → blackhole; latency applies to
+// every matched request including the faulted ones.
+type Fault struct {
+	// Latency is added before the request reaches the backend.
+	Latency time.Duration
+	// ResetProb is the probability of forwarding the request, then
+	// severing the connection mid-response-body (a TCP RST after half the
+	// payload, with the full Content-Length already promised).
+	ResetProb float64
+	// ErrorProb is the probability of answering ErrorCode without touching
+	// the backend.
+	ErrorProb float64
+	// ErrorCode is the synthetic status (default 500). Pair 429 with
+	// RetryAfter to script backpressure bursts.
+	ErrorCode int
+	// RetryAfter, when positive, sets a Retry-After header (whole seconds)
+	// on synthetic errors.
+	RetryAfter time.Duration
+	// Blackhole, when set, holds every matched request open — no response
+	// bytes at all — until the client abandons it or the proxy closes.
+	Blackhole bool
+	// Match scopes the fault; nil matches every request.
+	Match func(*http.Request) bool
+}
+
+// Stats counts what the proxy did, for asserting that a scripted window
+// actually injected faults.
+type Stats struct {
+	Requests   int64 `json:"requests"`
+	Passed     int64 `json:"passed"`
+	Resets     int64 `json:"resets"`
+	Errors     int64 `json:"errors"`
+	Blackholes int64 `json:"blackholes"`
+	// BackendDown counts 502s answered because the backend was unreachable
+	// (not an injected fault — the backend really was gone).
+	BackendDown int64 `json:"backend_down"`
+}
+
+// Proxy is the fault-injecting reverse proxy. Serve it on a real
+// listener (httptest.NewServer works): the mid-body reset needs
+// http.Hijacker.
+type Proxy struct {
+	backend string // base URL, no trailing slash
+	hc      *http.Client
+	fault   atomic.Pointer[Fault]
+	closed  chan struct{}
+	once    sync.Once
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	requests, passed, resets, errors, blackholes, backendDown atomic.Int64
+}
+
+// New builds a proxy for the backend base URL. seed makes the fault dice
+// deterministic; two proxies with the same seed and traffic roll the same
+// faults.
+func New(backend string, seed int64) *Proxy {
+	return &Proxy{
+		backend: backend,
+		// The proxy must not retry or pool-balance around faults it is
+		// supposed to surface, so it uses a plain transport with its own
+		// small pool.
+		hc:     &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}},
+		closed: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Set installs the active fault script (replacing any previous one).
+func (p *Proxy) Set(f Fault) {
+	if f.ErrorCode == 0 {
+		f.ErrorCode = http.StatusInternalServerError
+	}
+	p.fault.Store(&f)
+}
+
+// Clear removes the active fault: the proxy becomes transparent.
+func (p *Proxy) Clear() { p.fault.Store(nil) }
+
+// Close releases any blackholed requests and marks the proxy dead.
+func (p *Proxy) Close() { p.once.Do(func() { close(p.closed) }) }
+
+// Stats snapshots the injection counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Requests:    p.requests.Load(),
+		Passed:      p.passed.Load(),
+		Resets:      p.resets.Load(),
+		Errors:      p.errors.Load(),
+		Blackholes:  p.blackholes.Load(),
+		BackendDown: p.backendDown.Load(),
+	}
+}
+
+// roll draws one uniform [0,1) from the seeded dice.
+func (p *Proxy) roll() float64 {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return p.rng.Float64()
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	f := p.fault.Load()
+	if f != nil && f.Match != nil && !f.Match(r) {
+		f = nil // out of scope: transparent
+	}
+	if f != nil {
+		if f.Blackhole {
+			p.blackholes.Add(1)
+			select {
+			case <-r.Context().Done():
+			case <-p.closed:
+			}
+			return
+		}
+		if f.Latency > 0 {
+			select {
+			case <-time.After(f.Latency):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if f.ResetProb > 0 && p.roll() < f.ResetProb {
+			p.forwardAndReset(w, r)
+			return
+		}
+		if f.ErrorProb > 0 && p.roll() < f.ErrorProb {
+			p.errors.Add(1)
+			if f.RetryAfter > 0 {
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(f.RetryAfter.Seconds())))
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(f.ErrorCode)
+			fmt.Fprintf(w, `{"error":{"code":"internal","message":"chaosproxy: injected %d"}}`, f.ErrorCode)
+			return
+		}
+	}
+	p.forward(w, r)
+}
+
+// forward relays the request transparently. A dead backend reads as 502 —
+// through the proxy a crashed shard fails exactly like one behind real
+// infrastructure.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request) {
+	resp, err := p.roundTrip(r)
+	if err != nil {
+		p.backendDown.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprintf(w, `{"error":{"code":"internal","message":"chaosproxy: backend unreachable"}}`)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck
+	p.passed.Add(1)
+}
+
+// forwardAndReset relays the request to the backend, then breaks the
+// client connection halfway through the response body with an RST: the
+// client saw a healthy status line and a Content-Length it will never
+// receive. This is the worst case for a transfer protocol — the backend
+// did its work, the caller cannot know how much arrived.
+func (p *Proxy) forwardAndReset(w http.ResponseWriter, r *http.Request) {
+	resp, err := p.roundTrip(r)
+	if err != nil {
+		p.backendDown.Add(1)
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	resp.Body.Close()
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok { // no raw conn (e.g. HTTP/2): degrade to an abrupt empty reply
+		p.resets.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		p.resets.Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	defer conn.Close()
+	p.resets.Add(1)
+	fmt.Fprintf(bufrw, "HTTP/1.1 %d %s\r\n", resp.StatusCode, http.StatusText(resp.StatusCode))
+	fmt.Fprintf(bufrw, "Content-Type: %s\r\n", resp.Header.Get("Content-Type"))
+	fmt.Fprintf(bufrw, "Content-Length: %d\r\n\r\n", len(body))
+	bufrw.Write(body[:len(body)/2]) //nolint:errcheck
+	bufrw.Flush()                   //nolint:errcheck
+	// SetLinger(0) turns the close into an RST instead of an orderly FIN,
+	// so the client sees a reset, not a truncated-but-clean EOF.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0) //nolint:errcheck
+	}
+}
+
+// roundTrip relays one request to the backend.
+func (p *Proxy) roundTrip(r *http.Request) (*http.Response, error) {
+	u := p.backend + r.URL.RequestURI()
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u, r.Body)
+	if err != nil {
+		return nil, err
+	}
+	copyHeader(req.Header, r.Header)
+	return p.hc.Do(req)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vv := range src {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package chaosproxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoBackend answers 200 with a fixed body and a marker header.
+func echoBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Backend", "yes")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func newProxy(t *testing.T, backend string) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p := New(backend, 1)
+	srv := httptest.NewServer(p)
+	t.Cleanup(func() { srv.Close(); p.Close() })
+	return p, srv
+}
+
+func TestTransparentPassThrough(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+
+	resp, err := http.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "hello" {
+		t.Fatalf("got %d %q, want 200 hello", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Backend") != "yes" {
+		t.Fatalf("backend header not relayed")
+	}
+	if st := p.Stats(); st.Passed != 1 {
+		t.Fatalf("stats = %+v, want Passed 1", st)
+	}
+}
+
+func TestErrorInjectionWithRetryAfter(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+	p.Set(Fault{ErrorProb: 1, ErrorCode: http.StatusTooManyRequests, RetryAfter: 2 * time.Second})
+
+	resp, err := http.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want 2", got)
+	}
+	if st := p.Stats(); st.Errors != 1 || st.Passed != 0 {
+		t.Fatalf("stats = %+v, want Errors 1", st)
+	}
+
+	// Clearing restores transparency.
+	p.Clear()
+	resp2, err := http.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatalf("get after clear: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("after clear status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestResetMidBody(t *testing.T) {
+	backend := echoBackend(t, strings.Repeat("x", 1<<16))
+	p, srv := newProxy(t, backend.URL)
+	p.Set(Fault{ResetProb: 1})
+
+	resp, err := http.Get(srv.URL + "/v1/big")
+	if err == nil {
+		// The status line and headers arrive intact; the body must not.
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, want 200 before the reset", resp.StatusCode)
+		}
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+			t.Fatalf("read full body through a reset; want an error")
+		}
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats = %+v, want Resets 1", st)
+	}
+}
+
+func TestBlackholeHoldsUntilClientGivesUp(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+	p.Set(Fault{Blackhole: true})
+
+	hc := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := hc.Get(srv.URL + "/v1/ping")
+	if err == nil {
+		t.Fatalf("blackholed request answered")
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("request failed after %v; want to be held to the client timeout", elapsed)
+	}
+	if st := p.Stats(); st.Blackholes != 1 {
+		t.Fatalf("stats = %+v, want Blackholes 1", st)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+	p.Set(Fault{Latency: 60 * time.Millisecond})
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request served in %v; want >= 50ms injected latency", elapsed)
+	}
+}
+
+func TestMatchScopesFaults(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+	p.Set(Fault{
+		ErrorProb: 1,
+		Match:     func(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v1/") },
+	})
+
+	// Health probes stay clean.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d through scoped fault, want 200", resp.StatusCode)
+	}
+
+	// v1 traffic eats the fault.
+	resp2, err := http.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatalf("v1: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("v1 status = %d, want injected 500", resp2.StatusCode)
+	}
+}
+
+func TestDeadBackendReads502(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+	backend.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/ping")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502 for a dead backend", resp.StatusCode)
+	}
+	if st := p.Stats(); st.BackendDown != 1 {
+		t.Fatalf("stats = %+v, want BackendDown 1", st)
+	}
+}
+
+func TestErrorRateIsSeededAndPartial(t *testing.T) {
+	backend := echoBackend(t, "hello")
+	p, srv := newProxy(t, backend.URL)
+	p.Set(Fault{ErrorProb: 0.5})
+
+	var failed int
+	for i := 0; i < 40; i++ {
+		resp, err := http.Get(srv.URL + "/v1/ping")
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			failed++
+		}
+		resp.Body.Close()
+	}
+	if failed == 0 || failed == 40 {
+		t.Fatalf("p=0.5 fault failed %d/40 requests; want a strict mix", failed)
+	}
+}

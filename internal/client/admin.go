@@ -91,6 +91,32 @@ func (a *Admin) RemoveShard(ctx context.Context, name string, opts RemoveShardOp
 	return out, nil
 }
 
+// Repair runs one synchronous anti-entropy sweep: the router indexes
+// every live shard's posteriors, diffs holdings against current ring
+// ownership, and re-drives misplaced posteriors to their owners.
+func (a *Admin) Repair(ctx context.Context) (encode.RepairReport, error) {
+	var out encode.RepairReport
+	if err := a.c.do(ctx, http.MethodPost, "/admin/v1/repair", nil, &out); err != nil {
+		return encode.RepairReport{}, err
+	}
+	return out, nil
+}
+
+// Audit returns the most recent limit admin audit entries (membership
+// changes and effective repair sweeps), oldest first; limit 0 keeps the
+// router's default.
+func (a *Admin) Audit(ctx context.Context, limit int) (encode.AuditLog, error) {
+	path := "/admin/v1/audit"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var out encode.AuditLog
+	if err := a.c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return encode.AuditLog{}, err
+	}
+	return out, nil
+}
+
 // DrainShard fences a shard out of the ring, waits for its in-flight
 // jobs (bounded by deadline; 0 keeps the router's default), and migrates
 // its retained posteriors — but keeps it registered in state "drained",

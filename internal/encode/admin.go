@@ -85,6 +85,56 @@ type MigrationReport struct {
 	Bytes   int64 `json:"bytes"`
 }
 
+// RepairReport summarizes one anti-entropy repair sweep: the router
+// indexed every live shard's posteriors, diffed holdings against current
+// ring ownership, and re-drove the misplaced ones through the transfer
+// protocol. Served by POST /admin/v1/repair and tallied in /metrics.
+type RepairReport struct {
+	// Scanned counts posteriors indexed across all live shards this sweep.
+	Scanned int `json:"scanned"`
+	// Repaired counts posteriors re-driven to their ring owner (destination
+	// acknowledged, source deleted).
+	Repaired int `json:"repaired"`
+	// Failed counts posteriors (or whole shard indexes) the sweep could not
+	// move; they stay where they are for the next sweep.
+	Failed int `json:"failed"`
+	// Skipped counts posteriors with no routing key, no live destination,
+	// or a destination fenced by a drain.
+	Skipped int   `json:"skipped"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// AuditEntry is one admin-plane audit record: a membership change or an
+// effective repair sweep. With the router's -audit-log set, entries also
+// append to a JSONL file; GET /admin/v1/audit serves the in-memory tail.
+type AuditEntry struct {
+	// Time is the RFC3339Nano UTC stamp the router assigned.
+	Time string `json:"time"`
+	// Op is "add", "reactivate", "remove", "drain", or "repair".
+	Op string `json:"op"`
+	// Shard is the affected member's base URL ("" for repair sweeps).
+	Shard string `json:"shard,omitempty"`
+	// Mode is the removal mode ("drain" or "immediate") when Op is
+	// "remove".
+	Mode string `json:"mode,omitempty"`
+	// Outcome is "ok", "conflict" (add of an active member), "partial"
+	// (some posteriors failed to move), or "timed_out" (in-flight work
+	// remained at the drain deadline).
+	Outcome string `json:"outcome"`
+	// InflightAtEnd is the shard's last observed queued+running count when
+	// a drain ended (-1: the shard stopped answering).
+	InflightAtEnd int `json:"inflight_at_end,omitempty"`
+	// Migrated and Failed count the posteriors the operation moved and
+	// left behind (for repairs: repaired and failed).
+	Migrated int `json:"migrated,omitempty"`
+	Failed   int `json:"failed,omitempty"`
+}
+
+// AuditLog is the GET /admin/v1/audit document, oldest entry first.
+type AuditLog struct {
+	Entries []AuditEntry `json:"entries"`
+}
+
 // AddShardResponse reports a POST /admin/v1/shards outcome.
 type AddShardResponse struct {
 	Shard ShardInfo `json:"shard"`

@@ -1,0 +1,109 @@
+package router
+
+// The admin-plane audit log: one append-only JSONL record per membership
+// change (add, reactivate, drain, remove) and per effective repair sweep.
+// With Config.AuditLog set the records persist to disk — the durable
+// operational history of who entered and left the ring and what each
+// change did to the posterior population. The most recent records are
+// always also retained in memory and served at GET /admin/v1/audit, so
+// the endpoint works (within the retention window) even without a file.
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+// auditTail bounds the in-memory record retention.
+const auditTail = 512
+
+// auditor is the append-only membership audit log. A nil file is the
+// memory-only mode.
+type auditor struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries []encode.AuditEntry
+}
+
+// newAuditor opens (or creates) the JSONL file at path; "" selects the
+// memory-only mode.
+func newAuditor(path string) (*auditor, error) {
+	a := &auditor{}
+	if path == "" {
+		return a, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	a.f = f
+	return a, nil
+}
+
+// append stamps and records one entry, best-effort flushing it to the
+// file — an audit write failure is logged, never fatal: auditing must not
+// take the control plane down with it.
+func (a *auditor) append(e encode.AuditEntry) {
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.entries = append(a.entries, e)
+	if len(a.entries) > auditTail {
+		a.entries = append(a.entries[:0], a.entries[len(a.entries)-auditTail:]...)
+	}
+	if a.f == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = a.f.Write(line)
+	}
+	if err != nil {
+		log.Printf("phmse-router: audit log write: %v", err)
+	}
+}
+
+// tail returns the most recent limit entries in chronological order.
+func (a *auditor) tail(limit int) []encode.AuditEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.entries)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]encode.AuditEntry, n)
+	copy(out, a.entries[len(a.entries)-n:])
+	return out
+}
+
+func (a *auditor) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f != nil {
+		a.f.Close()
+		a.f = nil
+	}
+}
+
+// handleAdminAudit serves GET /admin/v1/audit?limit= — the in-memory tail
+// of the audit log, oldest first.
+func (rt *Router) handleAdminAudit(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+				"limit must be a positive integer, got "+strconv.Quote(v))
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, encode.AuditLog{Entries: rt.aud.tail(limit)})
+}

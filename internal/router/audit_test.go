@@ -1,0 +1,158 @@
+package router
+
+// The admin-plane audit log: every membership mutation and every
+// effective repair sweep leaves exactly one record, in order, with the
+// operation's outcome — and with -audit-log set, the same records land in
+// the JSONL file.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"phmse/internal/client"
+	"phmse/internal/encode"
+)
+
+// TestAuditTrail drives one of each audited operation through the admin
+// API and checks the resulting trail — in memory via GET /admin/v1/audit
+// and on disk via the JSONL file.
+func TestAuditTrail(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	cl := newClusterWith(t, 2, "", func(cfg *Config) {
+		cfg.RepairInterval = -1
+		cfg.AuditLog = logPath
+	})
+	ctx := context.Background()
+	admin := client.NewAdmin(cl.rts.URL, "")
+
+	st := keepJob(t, cl, 6)
+	owner := cl.byInstance(t, st.ID)
+	wrong := other(t, cl, owner)
+
+	// A sweep with nothing to do is operational noise, not history.
+	if rep, err := admin.Repair(ctx); err != nil || rep.Repaired != 0 {
+		t.Fatalf("idle repair = %+v, %v", rep, err)
+	}
+	if got, err := admin.Audit(ctx, 0); err != nil || len(got.Entries) != 0 {
+		t.Fatalf("audit after idle sweep = %+v, %v; want empty", got, err)
+	}
+
+	// 1. Adding an active member: refused, and the refusal is recorded.
+	if _, err := admin.AddShard(ctx, owner.url()); err == nil {
+		t.Fatal("adding an active member succeeded")
+	}
+	// 2. Drain the owner (fences it, evacuates its posterior).
+	if rep, err := admin.DrainShard(ctx, owner.url(), 5*time.Second); err != nil || rep.Migration.Migrated != 1 {
+		t.Fatalf("drain = %+v, %v", rep, err)
+	}
+	// 3. Reactivate it (its posterior migrates home again).
+	if rep, err := admin.AddShard(ctx, owner.url()); err != nil || !rep.Reactivated {
+		t.Fatalf("reactivate = %+v, %v", rep, err)
+	}
+	// 4. An effective repair sweep.
+	strandPosterior(t, owner, wrong, st.ID)
+	if rep, err := admin.Repair(ctx); err != nil || rep.Repaired != 1 {
+		t.Fatalf("repair = %+v, %v", rep, err)
+	}
+
+	got, err := admin.Audit(ctx, 0)
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	want := []struct{ op, outcome string }{
+		{"add", "conflict"},
+		{"drain", "ok"},
+		{"reactivate", "ok"},
+		{"repair", "ok"},
+	}
+	if len(got.Entries) != len(want) {
+		t.Fatalf("audit holds %d entries %+v, want %d", len(got.Entries), got.Entries, len(want))
+	}
+	var lastStamp time.Time
+	for i, e := range got.Entries {
+		if e.Op != want[i].op || e.Outcome != want[i].outcome {
+			t.Fatalf("entry %d = %s/%s, want %s/%s", i, e.Op, e.Outcome, want[i].op, want[i].outcome)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, e.Time)
+		if err != nil {
+			t.Fatalf("entry %d stamp %q: %v", i, e.Time, err)
+		}
+		if ts.Before(lastStamp) {
+			t.Fatalf("entry %d out of order: %v before %v", i, ts, lastStamp)
+		}
+		lastStamp = ts
+	}
+	if got.Entries[1].Migrated != 1 || got.Entries[3].Migrated != 1 {
+		t.Fatalf("drain/repair migration counts = %d/%d, want 1/1",
+			got.Entries[1].Migrated, got.Entries[3].Migrated)
+	}
+	if got.Entries[0].Shard != owner.url() {
+		t.Fatalf("conflict entry names %q, want the shard %q", got.Entries[0].Shard, owner.url())
+	}
+
+	// limit= serves just the most recent records.
+	tail, err := admin.Audit(ctx, 1)
+	if err != nil || len(tail.Entries) != 1 || tail.Entries[0].Op != "repair" {
+		t.Fatalf("audit limit=1 = %+v, %v; want only the repair entry", tail, err)
+	}
+
+	// The JSONL file mirrors the in-memory trail line for line.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatalf("opening audit file: %v", err)
+	}
+	defer f.Close()
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e encode.AuditEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("audit line %d %q: %v", lines, sc.Text(), err)
+		}
+		if e.Op != want[lines].op {
+			t.Fatalf("audit line %d op = %s, want %s", lines, e.Op, want[lines].op)
+		}
+		lines++
+	}
+	if lines != len(want) {
+		t.Fatalf("audit file holds %d lines, want %d", lines, len(want))
+	}
+}
+
+// TestAuditLimitValidation: a malformed limit is a client error, not a
+// silent default.
+func TestAuditLimitValidation(t *testing.T) {
+	cl := newClusterWith(t, 1, "", func(cfg *Config) { cfg.RepairInterval = -1 })
+	for _, bad := range []string{"bogus", "0", "-3"} {
+		resp, err := http.Get(cl.rts.URL + "/admin/v1/audit?limit=" + bad)
+		if err != nil {
+			t.Fatalf("limit=%s: %v", bad, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("limit=%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestAuditSurvivesWithoutFile: the memory-only mode serves the same
+// trail when no -audit-log is configured.
+func TestAuditSurvivesWithoutFile(t *testing.T) {
+	cl := newClusterWith(t, 2, "", func(cfg *Config) { cfg.RepairInterval = -1 })
+	ctx := context.Background()
+	admin := client.NewAdmin(cl.rts.URL, "")
+
+	if _, err := admin.AddShard(ctx, cl.backends[0].url()); err == nil {
+		t.Fatal("adding an active member succeeded")
+	}
+	got, err := admin.Audit(ctx, 0)
+	if err != nil || len(got.Entries) != 1 || got.Entries[0].Outcome != "conflict" {
+		t.Fatalf("memory-only audit = %+v, %v; want the conflict entry", got, err)
+	}
+}

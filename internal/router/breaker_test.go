@@ -1,0 +1,214 @@
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine drives one breaker through its full cycle at
+// the struct level: closed → open at the failure threshold, refusals
+// during the cooldown, exactly one half-open trial at a time, and the
+// trial's outcome deciding between closed and another open period.
+func TestBreakerStateMachine(t *testing.T) {
+	var b breaker
+	now := time.Now()
+	const threshold = 3
+	const cooldown = time.Second
+
+	// Closed passes traffic; failures below the threshold keep it closed.
+	for i := 0; i < threshold-1; i++ {
+		if ok, trial := b.allow(now, cooldown); !ok || trial {
+			t.Fatalf("closed allow #%d = (%v,%v), want (true,false)", i, ok, trial)
+		}
+		if changed := b.record(false, false, threshold, now); changed {
+			t.Fatalf("failure %d below threshold reported a visibility change", i+1)
+		}
+	}
+	// A success resets the failure streak.
+	b.record(true, false, threshold, now)
+	if st, _, _, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state after success = %v, want closed", st)
+	}
+
+	// The threshold-th consecutive failure opens.
+	for i := 0; i < threshold; i++ {
+		changed := b.record(false, false, threshold, now)
+		if want := i == threshold-1; changed != want {
+			t.Fatalf("failure %d changed=%v, want %v", i+1, changed, want)
+		}
+	}
+	if !b.isOpen() {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if ok, _ := b.allow(now.Add(cooldown/2), cooldown); ok {
+		t.Fatal("open breaker allowed traffic inside the cooldown")
+	}
+	// A post-open straggler adds no transitions.
+	if changed := b.record(false, false, threshold, now); changed || !b.isOpen() {
+		t.Fatal("straggler failure moved an open breaker")
+	}
+
+	// Cooldown elapsed: the next allow half-opens and hands out the single
+	// trial slot; a concurrent request is refused until the trial settles.
+	ok, trial := b.allow(now.Add(cooldown), cooldown)
+	if !ok || !trial {
+		t.Fatalf("post-cooldown allow = (%v,%v), want (true,true)", ok, trial)
+	}
+	if st, _, _, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+	if ok, _ := b.allow(now.Add(cooldown), cooldown); ok {
+		t.Fatal("second request admitted while the trial is in flight")
+	}
+
+	// A failed trial reopens; a cancel frees the slot for the next trial;
+	// a successful trial closes.
+	if changed := b.record(false, true, threshold, now.Add(cooldown)); !changed {
+		t.Fatal("failed trial did not report reopening")
+	}
+	if !b.isOpen() {
+		t.Fatal("breaker not open after a failed trial")
+	}
+	ok, trial = b.allow(now.Add(2*cooldown), cooldown)
+	if !ok || !trial {
+		t.Fatal("no trial after the second cooldown")
+	}
+	b.cancel(true) // the trial request died before any outcome
+	ok, trial = b.allow(now.Add(2*cooldown), cooldown)
+	if !ok || !trial {
+		t.Fatal("cancelled trial slot was not released")
+	}
+	if changed := b.record(true, true, threshold, now.Add(2*cooldown)); changed {
+		t.Fatal("half-open → closed must not report a ring change (half-open was already in the ring)")
+	}
+	st, opens, halfOpens, closes := b.snapshot()
+	if st != BreakerClosed {
+		t.Fatalf("final state = %v, want closed", st)
+	}
+	if opens != 2 || halfOpens != 2 || closes != 1 {
+		t.Fatalf("transition counters = %d/%d/%d opens/halfOpens/closes, want 2/2/1", opens, halfOpens, closes)
+	}
+}
+
+// TestBreakerTick pins the probe-driven open → half-open transition: a
+// shard with no directed traffic still gets its trial once the cooldown
+// elapses, and tick reports the ring-visibility change exactly once.
+func TestBreakerTick(t *testing.T) {
+	var b breaker
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		b.record(false, false, 2, now)
+	}
+	if !b.isOpen() {
+		t.Fatal("breaker not open")
+	}
+	if b.tick(now.Add(time.Second/2), time.Second) {
+		t.Fatal("tick transitioned inside the cooldown")
+	}
+	if !b.tick(now.Add(time.Second), time.Second) {
+		t.Fatal("tick did not half-open after the cooldown")
+	}
+	if b.tick(now.Add(2*time.Second), time.Second) {
+		t.Fatal("tick reported a second transition for the same half-open")
+	}
+	if st, _, _, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after tick = %v, want half-open", st)
+	}
+}
+
+// shardMetricsOf finds one shard's metrics row by base URL.
+func shardMetricsOf(t *testing.T, rt *Router, base string) ShardMetrics {
+	t.Helper()
+	for _, sm := range rt.Snapshot().Shards {
+		if sm.Base == base {
+			return sm
+		}
+	}
+	t.Fatalf("no shard %q in metrics", base)
+	return ShardMetrics{}
+}
+
+// TestFlapSuppressionQuarantine bounces one shard in and out of the ring
+// until flap suppression quarantines it, then verifies the escalating
+// probation: readmission now takes consecutive good probes, a bad probe
+// mid-probation resets the requirement, and a repeat offence doubles it.
+func TestFlapSuppressionQuarantine(t *testing.T) {
+	cl := newClusterWith(t, 2, "", func(cfg *Config) {
+		cfg.ProbeInterval = time.Hour // probes only via CheckNow
+		cfg.FlapCount = 2
+		cfg.FlapWindow = time.Minute
+		cfg.BreakerFailures = -1 // isolate flap suppression from breaking
+		cfg.RepairInterval = -1
+	})
+	ctx := context.Background()
+	b := cl.backends[1]
+
+	bounce := func() {
+		t.Helper()
+		b.stop()
+		cl.rt.CheckNow(ctx) // observe it down
+		b.start(t)
+	}
+
+	// Shards start optimistic (in the ring), so the startup probe is not a
+	// readmission: the first two bounces readmit immediately on one good
+	// probe each — the stable-shard behaviour.
+	for i := 0; i < 2; i++ {
+		bounce()
+		cl.rt.CheckNow(ctx)
+		if sm := shardMetricsOf(t, cl.rt, b.url()); !sm.Ready || sm.Quarantines != 0 {
+			t.Fatalf("clean bounce %d: ready=%v quarantines=%d, want immediate readmission",
+				i+1, sm.Ready, sm.Quarantines)
+		}
+	}
+
+	// The third bounce finds FlapCount readmissions inside the window:
+	// quarantine, probation of 2 consecutive good probes.
+	bounce()
+	cl.rt.CheckNow(ctx)
+	sm := shardMetricsOf(t, cl.rt, b.url())
+	if sm.Ready || sm.Quarantines != 1 || sm.ProbationLeft != 2 {
+		t.Fatalf("flapping bounce: ready=%v quarantines=%d probation=%d, want quarantined with probation 2",
+			sm.Ready, sm.Quarantines, sm.ProbationLeft)
+	}
+
+	// Two more good probes serve the probation and readmit.
+	cl.rt.CheckNow(ctx)
+	if sm := shardMetricsOf(t, cl.rt, b.url()); sm.Ready || sm.ProbationLeft != 1 {
+		t.Fatalf("mid-probation: ready=%v probation=%d, want out with probation 1", sm.Ready, sm.ProbationLeft)
+	}
+	cl.rt.CheckNow(ctx)
+	if sm := shardMetricsOf(t, cl.rt, b.url()); !sm.Ready || sm.ProbationLeft != 0 {
+		t.Fatalf("after probation: ready=%v probation=%d, want readmitted", sm.Ready, sm.ProbationLeft)
+	}
+	cl.waitRing(t, 2, 0)
+
+	// A repeat offence doubles the probation (quarantine #2 → 4 probes),
+	// and a bad probe mid-probation resets the full requirement.
+	bounce()
+	cl.rt.CheckNow(ctx)
+	sm = shardMetricsOf(t, cl.rt, b.url())
+	if sm.Ready || sm.Quarantines != 2 || sm.ProbationLeft != 4 {
+		t.Fatalf("repeat offence: ready=%v quarantines=%d probation=%d, want probation 4",
+			sm.Ready, sm.Quarantines, sm.ProbationLeft)
+	}
+	cl.rt.CheckNow(ctx)
+	cl.rt.CheckNow(ctx)
+	if sm := shardMetricsOf(t, cl.rt, b.url()); sm.ProbationLeft != 2 {
+		t.Fatalf("probation after 2 good probes = %d, want 2", sm.ProbationLeft)
+	}
+	b.stop()
+	cl.rt.CheckNow(ctx) // bad probe: probation resets to the full 4
+	b.start(t)
+	cl.rt.CheckNow(ctx)
+	if sm := shardMetricsOf(t, cl.rt, b.url()); sm.ProbationLeft != 3 {
+		t.Fatalf("probation after reset + 1 good probe = %d, want 3 (reset to 4, then one served)", sm.ProbationLeft)
+	}
+	for i := 0; i < 3; i++ {
+		cl.rt.CheckNow(ctx)
+	}
+	if sm := shardMetricsOf(t, cl.rt, b.url()); !sm.Ready {
+		t.Fatal("shard never readmitted after serving the reset probation")
+	}
+}

@@ -67,6 +67,16 @@ func (rt *Router) sweep(ctx context.Context, force bool) {
 // exponentially up to MaxProbeBackoff. An alive shard that is not ready
 // (draining or saturated) leaves the ring but keeps the normal probe
 // cadence — saturation clears quickly, so readmission must too.
+//
+// Readmission is flap-suppressed: a shard that bounced back into the ring
+// FlapCount times within FlapWindow is quarantined and must stay healthy
+// through an escalating probation of consecutive good probes before the
+// ring takes it back; any bad probe while on probation resets the
+// requirement. A stable shard keeps the single-good-probe readmission.
+//
+// The probe also ticks the shard's circuit breaker: an open breaker whose
+// cooldown elapsed half-opens here so the ring re-admits the shard for
+// its trial request even when no directed traffic reaches it.
 func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 	pctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
 	defer cancel()
@@ -91,18 +101,23 @@ func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 	sh.running = rs.Running
 	switch {
 	case alive && ready:
-		sh.ready = true
 		sh.consecFails = 0
 		sh.nextProbe = now.Add(rt.cfg.ProbeInterval)
+		if wasReady {
+			break
+		}
+		rt.admitProbed(sh, now)
 	case alive: // draining or saturated: out of the ring, normal cadence
 		sh.ready = false
 		sh.consecFails = 0
 		sh.nextProbe = now.Add(rt.cfg.ProbeInterval)
+		rt.resetProbation(sh)
 	default:
 		sh.consecFails++
 		if sh.consecFails >= rt.cfg.FailAfter {
 			sh.ready = false
 		}
+		rt.resetProbation(sh)
 		backoff := rt.cfg.ProbeInterval
 		for i := 1; i < sh.consecFails && backoff < rt.cfg.MaxProbeBackoff; i++ {
 			backoff *= 2
@@ -114,9 +129,62 @@ func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 	}
 	changed := sh.ready != wasReady
 	sh.mu.Unlock()
+	if sh.brk.tick(now, rt.cfg.BreakerCooldown) {
+		changed = true
+	}
 	if changed {
 		rt.rebuildRing()
 	}
+}
+
+// admitProbed applies one successful probe of a currently-out shard,
+// under sh.mu. The stable path readmits immediately; a flapping shard is
+// quarantined under an escalating probation of consecutive good probes
+// (2 << (quarantines-1), capped at 32).
+func (rt *Router) admitProbed(sh *shard, now time.Time) {
+	// Slide the flap window.
+	if rt.cfg.FlapCount > 0 {
+		keep := sh.readmits[:0]
+		for _, ts := range sh.readmits {
+			if now.Sub(ts) < rt.cfg.FlapWindow {
+				keep = append(keep, ts)
+			}
+		}
+		sh.readmits = keep
+	}
+	switch {
+	case sh.probationLeft > 1:
+		sh.probationLeft-- // serving probation: stay out of the ring
+	case sh.probationLeft == 1:
+		sh.probationLeft = 0 // probation served
+		sh.ready = true
+		sh.readmits = append(sh.readmits, now)
+	case rt.cfg.FlapCount > 0 && len(sh.readmits) >= rt.cfg.FlapCount:
+		// Flapping: quarantine instead of readmitting, with the probation
+		// doubling on every repeat offence.
+		sh.quarantines++
+		p := 2
+		for i := 1; i < sh.quarantines && p < 32; i++ {
+			p *= 2
+		}
+		sh.probationLeft = p
+	default:
+		sh.ready = true
+		sh.readmits = append(sh.readmits, now)
+	}
+}
+
+// resetProbation restarts a quarantined shard's probation after a bad
+// probe: readmission requires continuous health, not cumulative.
+func (rt *Router) resetProbation(sh *shard) {
+	if sh.probationLeft == 0 {
+		return
+	}
+	p := 2
+	for i := 1; i < sh.quarantines && p < 32; i++ {
+		p *= 2
+	}
+	sh.probationLeft = p
 }
 
 // probeGet fetches one health endpoint, best-effort decoding the document.

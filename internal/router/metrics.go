@@ -26,9 +26,15 @@ type Metrics struct {
 	// because every eligible shard was at that cap.
 	ShardInflightLimit int   `json:"shard_inflight_limit,omitempty"`
 	Saturated          int64 `json:"saturated"`
+	// BreakerRefused counts requests the router turned away because the
+	// target shard's circuit breaker was open (or its half-open trial slot
+	// was taken).
+	BreakerRefused int64 `json:"breaker_refused"`
 	// Migration totals across every admin membership change.
 	Migration MetricsMigration `json:"migration"`
-	Shards    []ShardMetrics   `json:"shards"`
+	// Repair tallies the anti-entropy sweeps.
+	Repair MetricsRepair  `json:"repair"`
+	Shards []ShardMetrics `json:"shards"`
 }
 
 // MetricsMigration tallies the posterior migration passes run by admin
@@ -42,6 +48,16 @@ type MetricsMigration struct {
 	Failed   int64 `json:"failed"`
 	Skipped  int64 `json:"skipped"`
 	Bytes    int64 `json:"bytes"`
+}
+
+// MetricsRepair tallies the anti-entropy repair sweeps.
+type MetricsRepair struct {
+	// Sweeps counts completed sweeps (periodic, kicked, and admin-driven);
+	// Repaired/Failed/Skipped count posteriors across all of them.
+	Sweeps   int64 `json:"sweeps"`
+	Repaired int64 `json:"repaired"`
+	Failed   int64 `json:"failed"`
+	Skipped  int64 `json:"skipped"`
 }
 
 // ShardMetrics is one backend's routing state and forwarding counters.
@@ -68,6 +84,17 @@ type ShardMetrics struct {
 	// DrainState is non-empty while the admin API holds the shard out of
 	// the ring ("draining" or "drained").
 	DrainState string `json:"drain_state,omitempty"`
+	// BreakerState is "closed", "open", or "half_open"; the counters tally
+	// lifetime transitions into open/half-open/closed.
+	BreakerState     string `json:"breaker_state"`
+	BreakerOpens     int64  `json:"breaker_opens,omitempty"`
+	BreakerHalfOpens int64  `json:"breaker_half_opens,omitempty"`
+	BreakerCloses    int64  `json:"breaker_closes,omitempty"`
+	// Quarantines counts flap-suppression quarantines imposed on this
+	// shard; ProbationLeft is the consecutive good probes still required
+	// before the ring takes it back (0 when not on probation).
+	Quarantines   int `json:"quarantines,omitempty"`
+	ProbationLeft int `json:"probation_left,omitempty"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -82,6 +109,13 @@ func (rt *Router) Snapshot() Metrics {
 		ListFanouts:        rt.listFanouts.Load(),
 		ShardInflightLimit: rt.cfg.ShardInflight,
 		Saturated:          rt.saturated.Load(),
+		BreakerRefused:     rt.breakerRefused.Load(),
+		Repair: MetricsRepair{
+			Sweeps:   rt.repairSweeps.Load(),
+			Repaired: rt.repairRepaired.Load(),
+			Failed:   rt.repairFailed.Load(),
+			Skipped:  rt.repairSkipped.Load(),
+		},
 		Migration: MetricsMigration{
 			Passes:   rt.migrPasses.Load(),
 			Migrated: rt.migrMigrated.Load(),
@@ -106,9 +140,17 @@ func (rt *Router) Snapshot() Metrics {
 			QueueDepth:          sh.queueDepth,
 			Running:             sh.running,
 			DrainState:          sh.drain,
+			Quarantines:         sh.quarantines,
+			ProbationLeft:       sh.probationLeft,
 		}
 		inRing := sh.ready && sh.drain == ""
 		sh.mu.Unlock()
+		bst, opens, halfOpens, closes := sh.brk.snapshot()
+		sm.BreakerState = bst.String()
+		sm.BreakerOpens, sm.BreakerHalfOpens, sm.BreakerCloses = opens, halfOpens, closes
+		if bst == BreakerOpen {
+			inRing = false
+		}
 		if inRing {
 			m.RingShards++
 		} else {

@@ -26,12 +26,18 @@ import (
 	"log"
 	"net/http"
 	"net/url"
+	"strconv"
 	"time"
 
+	"phmse/internal/client"
 	"phmse/internal/encode"
 )
 
 var errShardExists = errors.New("router: shard is already an active member")
+
+// errOversizeTransfer marks a transfer body over maxRequestBody: the
+// document can never fit through the protocol, so retrying is pointless.
+var errOversizeTransfer = errors.New("router: transfer body exceeds the protocol limit")
 
 // addShard registers a new backend (or reactivates a drained member) and
 // rebalances remapped posteriors onto it. The new shard enters pessimistic
@@ -47,6 +53,7 @@ func (rt *Router) addShard(ctx context.Context, base string) (*encode.AddShardRe
 		sh.drain = ""
 		sh.mu.Unlock()
 		if !wasDrained {
+			rt.aud.append(encode.AuditEntry{Op: "add", Shard: base, Outcome: "conflict"})
 			return nil, errShardExists
 		}
 		// Reactivation: lift the drain fence, re-probe, and migrate the
@@ -55,6 +62,10 @@ func (rt *Router) addShard(ctx context.Context, base string) (*encode.AddShardRe
 		rt.probeShard(ctx, sh)
 		rt.rebuildRing()
 		rep := rt.rebalance(ctx, oldRing, rt.currentRing(), nil)
+		rt.aud.append(encode.AuditEntry{
+			Op: "reactivate", Shard: sh.name,
+			Outcome: migrationOutcome(rep), Migrated: rep.Migrated, Failed: rep.Failed,
+		})
 		return &encode.AddShardResponse{Shard: rt.shardInfo(sh), Reactivated: true, Migration: rep}, nil
 	}
 
@@ -68,7 +79,31 @@ func (rt *Router) addShard(ctx context.Context, base string) (*encode.AddShardRe
 	// unconditionally so the install is never skipped.
 	rt.rebuildRing()
 	rep := rt.rebalance(ctx, oldRing, rt.currentRing(), nil)
+	rt.aud.append(encode.AuditEntry{
+		Op: "add", Shard: sh.name,
+		Outcome: migrationOutcome(rep), Migrated: rep.Migrated, Failed: rep.Failed,
+	})
 	return &encode.AddShardResponse{Shard: rt.shardInfo(sh), Migration: rep}, nil
+}
+
+// migrationOutcome condenses a migration pass for the audit log.
+func migrationOutcome(rep encode.MigrationReport) string {
+	if rep.Failed > 0 {
+		return "partial"
+	}
+	return "ok"
+}
+
+// drainOutcome condenses a drain/remove report for the audit log.
+func drainOutcome(rep *encode.DrainReport) string {
+	switch {
+	case rep.TimedOut:
+		return "timed_out"
+	case rep.Migration.Failed > 0:
+		return "partial"
+	default:
+		return "ok"
+	}
 }
 
 // removeShard ejects a member. mode "drain" fences the shard, waits for
@@ -117,6 +152,11 @@ func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadl
 	}
 	rt.mu.Unlock()
 	rep.Shard = rt.shardInfo(sh)
+	rt.aud.append(encode.AuditEntry{
+		Op: "remove", Shard: sh.name, Mode: mode,
+		Outcome: drainOutcome(rep), InflightAtEnd: rep.InflightAtEnd,
+		Migrated: rep.Migration.Migrated, Failed: rep.Migration.Failed,
+	})
 	return rep
 }
 
@@ -143,6 +183,11 @@ func (rt *Router) drainShard(ctx context.Context, sh *shard, deadline time.Durat
 	sh.drain = "drained"
 	sh.mu.Unlock()
 	rep.Shard = rt.shardInfo(sh)
+	rt.aud.append(encode.AuditEntry{
+		Op: "drain", Shard: sh.name,
+		Outcome: drainOutcome(rep), InflightAtEnd: rep.InflightAtEnd,
+		Migrated: rep.Migration.Migrated, Failed: rep.Migration.Failed,
+	})
 	return rep
 }
 
@@ -260,6 +305,11 @@ func (rt *Router) rebalance(ctx context.Context, oldRing, newRing *ring, only *s
 			rt.migrBytes.Add(info.Bytes)
 		}
 	}
+	// A pass that left posteriors behind should not wait out the repair
+	// interval: kick an immediate anti-entropy sweep to re-drive them.
+	if rep.Failed > 0 {
+		rt.kickRepair()
+	}
 	return rep
 }
 
@@ -269,6 +319,12 @@ func (rt *Router) rebalance(ctx context.Context, oldRing, newRing *ring, only *s
 // the ack returns an error with the source untouched; a failure of the
 // delete itself is logged but not an error — the posterior is safely at
 // its new owner, and the stale source copy is pruned by a later pass.
+//
+// Each leg runs under the transfer retry policy (adminDo): transient
+// faults — transport errors, 5xx bursts, 429 backpressure — back off and
+// retry inside MigrateTimeout instead of failing the posterior on the
+// first hiccup. The PUT is safe to replay: an import of the same id
+// replaces the entry in place.
 func (rt *Router) transferPosterior(ctx context.Context, src, dst *shard, info encode.PosteriorInfo) error {
 	tctx, cancel := context.WithTimeout(ctx, rt.cfg.MigrateTimeout)
 	defer cancel()
@@ -288,16 +344,60 @@ func (rt *Router) transferPosterior(ctx context.Context, src, dst *shard, info e
 }
 
 // adminDo issues one migration-protocol request, presenting the router's
-// admin token, and returns the response body of a 2xx (a non-2xx is an
-// error carrying the status and the body's leading bytes).
+// admin token, and returns the response body of a 2xx. Transport errors,
+// 5xx responses, and 429 backpressure retry under the configured policy —
+// with the backoff floored by any Retry-After the backend sent — because
+// every protocol request is replay-safe: the index and export are reads,
+// the import replaces the same id in place, and the delete is naturally
+// idempotent. Three rejections stay terminal on first sight: 507
+// posterior_budget (a full store does not drain on the retry timescale;
+// the sweep counts the posterior failed and moves on), any other 4xx
+// (the request itself is wrong), and a response over the protocol's
+// transfer size limit (the document can never fit, and a truncated read
+// must never be passed off as the export).
 func (rt *Router) adminDo(ctx context.Context, method, u string, body []byte) ([]byte, error) {
+	var last error
+	attempts := rt.cfg.Retry.MaxAttempts
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(rt.cfg.Retry.Delay(i-1, last)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w (last: %v)", ctx.Err(), last)
+			}
+		}
+		status, retryAfter, data, err := rt.adminDoOnce(ctx, method, u, body)
+		if err != nil {
+			if errors.Is(err, errOversizeTransfer) {
+				return nil, err // the document can never fit; don't re-download it
+			}
+			last = err
+			continue
+		}
+		if status >= 200 && status <= 299 {
+			return data, nil
+		}
+		herr := transferError(status, retryAfter, data)
+		if status == http.StatusTooManyRequests ||
+			(status >= 500 && status != http.StatusInsufficientStorage) {
+			last = herr
+			continue
+		}
+		return nil, herr // 507 and any 4xx: terminal
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", attempts, last)
+}
+
+// adminDoOnce is one attempt: transport errors in err, everything else as
+// a status + parsed Retry-After + body.
+func (rt *Router) adminDoOnce(ctx context.Context, method, u string, body []byte) (int, time.Duration, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -307,21 +407,45 @@ func (rt *Router) adminDo(ctx context.Context, method, u string, body []byte) ([
 	}
 	resp, err := rt.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody))
-	if err != nil {
-		return nil, err
+	var retryAfter time.Duration
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		msg := string(data)
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBody+1))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if len(data) > maxRequestBody {
+		// A silently truncated export would be re-imported as a corrupt
+		// document; surface the limit instead so the transfer fails loudly
+		// and the source copy stays intact.
+		return 0, 0, nil, fmt.Errorf("%s %s: %d-byte response: %w", method, u, maxRequestBody, errOversizeTransfer)
+	}
+	return resp.StatusCode, retryAfter, data, nil
+}
+
+// transferError shapes a non-2xx transfer response as a *client.APIError,
+// so RetryPolicy.Delay floors the next backoff by the server's
+// Retry-After exactly as the typed client would.
+func transferError(status int, retryAfter time.Duration, body []byte) error {
+	ae := &client.APIError{HTTPStatus: status, Code: encode.CodeInternal, RetryAfter: retryAfter}
+	var env encode.ErrorEnvelope
+	if json.Unmarshal(body, &env) == nil && env.Error.Code != "" {
+		ae.Code = env.Error.Code
+		ae.Message = env.Error.Message
+	} else {
+		msg := string(body)
 		if len(msg) > 200 {
 			msg = msg[:200]
 		}
-		return nil, fmt.Errorf("http %d: %s", resp.StatusCode, msg)
+		ae.Message = msg
 	}
-	return data, nil
+	return ae
 }
 
 // fetchPosteriorIndex reads one shard's retained-posterior index.

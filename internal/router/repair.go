@@ -1,0 +1,192 @@
+package router
+
+// The anti-entropy repair loop: the active half of the self-healing
+// layer. Migration passes (migrate.go) move posteriors when membership
+// changes, but a transfer that fails — destination down mid-stream,
+// import rejected, source briefly unreachable — strands the posterior on
+// a shard the ring no longer maps it to, and a shard that crashed and
+// rejoined holds (and misses) posteriors the ring reassigned while it was
+// away. Rather than waiting for the next membership change to retry, the
+// repair sweeper periodically rebuilds the truth from scratch: index
+// every live shard's holdings, diff each posterior against current ring
+// ownership, and re-drive the misplaced ones through the same
+// ack-before-delete transfer protocol. The sweep is idempotent and
+// convergent — running it twice is merely wasteful, and any interrupted
+// transfer leaves the source intact for the next pass.
+//
+// Sweeps serialize with admin membership changes under adminMu, so a
+// repair can never race a migration on ring generations. Draining and
+// drained shards are fenced on both sides: never a source (the drain owns
+// its own migration) and never a destination (they own no ring arcs, and
+// a defensive check skips them even if a stale ring says otherwise).
+
+import (
+	"context"
+	"log"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+// repairLoop drives periodic sweeps until Close. The interval is
+// jittered ±20% so multiple routers over the same cluster spread out; a
+// kick (a migration pass that reported failures) wakes the sweeper
+// immediately.
+func (rt *Router) repairLoop() {
+	defer close(rt.repairDone)
+	if rt.cfg.RepairInterval < 0 {
+		return
+	}
+	for {
+		t := time.NewTimer(jitterInterval(rt.cfg.RepairInterval))
+		select {
+		case <-rt.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		case <-rt.repairKick:
+			t.Stop()
+		}
+		rt.RepairNow(context.Background())
+	}
+}
+
+// jitterInterval spreads d over [0.8d, 1.2d).
+func jitterInterval(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d - d/5 + time.Duration(rand.Int63n(int64(d)/5*2+1))
+}
+
+// kickRepair schedules an immediate sweep; a no-op when one is already
+// pending or the loop is disabled.
+func (rt *Router) kickRepair() {
+	select {
+	case rt.repairKick <- struct{}{}:
+	default:
+	}
+}
+
+// RepairNow runs one synchronous anti-entropy sweep and reports what it
+// did. Exported for tests and served at POST /admin/v1/repair; the
+// background loop calls it on its jittered cadence.
+func (rt *Router) RepairNow(ctx context.Context) encode.RepairReport {
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	rep := rt.repairPass(ctx)
+	rt.repairSweeps.Add(1)
+	rt.repairRepaired.Add(int64(rep.Repaired))
+	rt.repairFailed.Add(int64(rep.Failed))
+	rt.repairSkipped.Add(int64(rep.Skipped))
+	if rep.Repaired > 0 || rep.Failed > 0 {
+		rt.aud.append(encode.AuditEntry{
+			Op:       "repair",
+			Outcome:  repairOutcome(rep),
+			Migrated: rep.Repaired,
+			Failed:   rep.Failed,
+		})
+	}
+	return rep
+}
+
+func repairOutcome(rep encode.RepairReport) string {
+	if rep.Failed > 0 {
+		return "partial"
+	}
+	return "ok"
+}
+
+// repairPass is one sweep body, run under adminMu.
+func (rt *Router) repairPass(ctx context.Context) encode.RepairReport {
+	rep := encode.RepairReport{}
+	ring := rt.currentRing()
+	if ring == nil || len(ring.points) == 0 {
+		return rep // no owners to converge toward
+	}
+
+	// Sources: every live member not fenced by a drain or removal. A
+	// breaker-open shard still answers its transfer endpoints (they are
+	// not live v1 traffic), so it stays a valid source — its holdings
+	// belong elsewhere while it owns no arcs.
+	var sources []*shard
+	for _, sh := range rt.shardList() {
+		if !sh.isAlive() || sh.drainState() != "" {
+			continue
+		}
+		sh.mu.Lock()
+		removed := sh.removed
+		sh.mu.Unlock()
+		if !removed {
+			sources = append(sources, sh)
+		}
+	}
+
+	// Bounded transfer concurrency: one semaphore across the whole pass,
+	// so a wide sweep cannot dogpile the cluster with parallel streams.
+	sem := make(chan struct{}, rt.cfg.RepairConcurrency)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards rep
+
+	for _, src := range sources {
+		idx, err := rt.fetchPosteriorIndex(ctx, src, "")
+		if err != nil {
+			log.Printf("phmse-router: repair: indexing %s: %v", src.name, err)
+			mu.Lock()
+			rep.Failed++
+			mu.Unlock()
+			continue
+		}
+		for _, info := range idx.Posteriors {
+			mu.Lock()
+			rep.Scanned++
+			mu.Unlock()
+			if info.TopologyHash == "" {
+				mu.Lock()
+				rep.Skipped++
+				mu.Unlock()
+				continue
+			}
+			dst := ring.lookup(info.TopologyHash)
+			if dst == nil || dst == src {
+				continue // correctly placed (or no owner exists)
+			}
+			// Defensive fence: the ring excludes draining shards, but a
+			// drain that started after this ring was captured must never
+			// become a repair destination.
+			if dst.drainState() != "" || !dst.isAlive() {
+				mu.Lock()
+				rep.Skipped++
+				mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func(src, dst *shard, info encode.PosteriorInfo) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if err := rt.transferPosterior(ctx, src, dst, info); err != nil {
+					log.Printf("phmse-router: repair: re-driving %s (%s -> %s): %v",
+						info.Job, src.name, dst.name, err)
+					mu.Lock()
+					rep.Failed++
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				rep.Repaired++
+				rep.Bytes += info.Bytes
+				mu.Unlock()
+			}(src, dst, info)
+		}
+	}
+	wg.Wait()
+	return rep
+}
+
+func (rt *Router) handleAdminRepair(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.RepairNow(r.Context()))
+}

@@ -101,6 +101,43 @@ type Config struct {
 	// MigrateTimeout bounds one posterior transfer (export + import +
 	// delete) during a migration pass (default 10s).
 	MigrateTimeout time.Duration
+
+	// RepairInterval is the anti-entropy repair sweep period (default
+	// 30s; negative disables the loop). Each sweep indexes every live
+	// shard's posteriors, diffs holdings against current ring ownership,
+	// and re-drives misplaced posteriors through the transfer protocol.
+	// The actual period is jittered ±20% so multiple routers do not
+	// sweep in lockstep, and a migration pass that reported failures
+	// kicks an immediate sweep.
+	RepairInterval time.Duration
+	// RepairConcurrency bounds the posterior transfers one repair sweep
+	// runs at once (default 2).
+	RepairConcurrency int
+
+	// BreakerFailures is the consecutive live-forward failures (transport
+	// errors or 5xx responses) that open a shard's circuit breaker,
+	// fencing it out of the ring (default 3; <= -1 disables the breaker,
+	// 0 selects the default).
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker waits before
+	// half-opening to admit one trial request (default 5s).
+	BreakerCooldown time.Duration
+	// FlapCount quarantines a shard readmitted to the ring this many
+	// times within FlapWindow: instead of the single-success readmission,
+	// it must stay healthy through an escalating probation of consecutive
+	// good probes (2, 4, 8, … doubling per quarantine, capped at 32).
+	// Default 3; <= -1 disables flap suppression, 0 selects the default.
+	FlapCount int
+	// FlapWindow is the sliding window over ring readmissions that
+	// defines flapping (default 60s).
+	FlapWindow time.Duration
+
+	// AuditLog, when set, appends one JSON line per admin membership
+	// change (and per effective repair sweep) to this file. The last
+	// entries are always also retained in memory and served at
+	// GET /admin/v1/audit regardless.
+	AuditLog string
+
 	// HTTPClient overrides the forwarding/probing client.
 	HTTPClient *http.Client
 }
@@ -139,6 +176,24 @@ func (c Config) withDefaults() Config {
 	if c.MigrateTimeout <= 0 {
 		c.MigrateTimeout = 10 * time.Second
 	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 30 * time.Second
+	}
+	if c.RepairConcurrency <= 0 {
+		c.RepairConcurrency = 2
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.FlapCount == 0 {
+		c.FlapCount = 3
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = time.Minute
+	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
 	}
@@ -173,6 +228,16 @@ type shard struct {
 	// the per-probe load signal exposed as a /metrics gauge.
 	queueDepth int
 	running    int
+	// Flap suppression (see breaker.go): readmits holds the recent probe
+	// readmission times inside the flap window; quarantines is the
+	// escalation level; probationLeft is the consecutive good probes
+	// still owed before the ring takes the shard back (0 = no probation).
+	readmits      []time.Time
+	quarantines   int
+	probationLeft int
+
+	// brk is the shard's live-forward circuit breaker (its own lock).
+	brk breaker
 
 	forwarded, failed, retried atomic.Int64
 	// inflight is the counting semaphore behind Config.ShardInflight;
@@ -220,9 +285,20 @@ type Router struct {
 
 	forwarded, failed, retried atomic.Int64
 	noShard, listFanouts       atomic.Int64
-	saturated                  atomic.Int64
+	saturated, breakerRefused  atomic.Int64
 
 	migrPasses, migrMigrated, migrFailed, migrSkipped, migrBytes atomic.Int64
+
+	// Anti-entropy repair state (repair.go): the kick channel wakes the
+	// sweeper early after a migration pass reported failures.
+	repairKick chan struct{}
+	repairDone chan struct{}
+
+	repairSweeps, repairRepaired, repairFailed, repairSkipped atomic.Int64
+
+	// aud is the admin-plane audit log (audit.go); nil only before New
+	// finishes.
+	aud *auditor
 }
 
 // New builds a router over the configured shards and starts its health
@@ -241,7 +317,14 @@ func New(cfg Config) (*Router, error) {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		byInstance: make(map[string]*shard),
+		repairKick: make(chan struct{}, 1),
+		repairDone: make(chan struct{}),
 	}
+	aud, err := newAuditor(cfg.AuditLog)
+	if err != nil {
+		return nil, fmt.Errorf("router: opening audit log: %w", err)
+	}
+	rt.aud = aud
 	seen := make(map[string]bool, len(cfg.Shards))
 	for _, base := range cfg.Shards {
 		base = strings.TrimRight(base, "/")
@@ -267,8 +350,11 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /admin/v1/shards", rt.adminAuth(rt.handleAdminAddShard))
 	rt.mux.HandleFunc("DELETE /admin/v1/shards/{name}", rt.adminAuth(rt.handleAdminRemoveShard))
 	rt.mux.HandleFunc("POST /admin/v1/shards/{name}/drain", rt.adminAuth(rt.handleAdminDrainShard))
+	rt.mux.HandleFunc("POST /admin/v1/repair", rt.adminAuth(rt.handleAdminRepair))
+	rt.mux.HandleFunc("GET /admin/v1/audit", rt.adminAuth(rt.handleAdminAudit))
 
 	go rt.probeLoop()
+	go rt.repairLoop()
 	return rt, nil
 }
 
@@ -277,7 +363,8 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rt.mux.ServeHTTP(w, r)
 }
 
-// Close stops the health prober. In-flight forwards are unaffected.
+// Close stops the health prober, the repair sweeper, and the audit log.
+// In-flight forwards are unaffected.
 func (rt *Router) Close() {
 	select {
 	case <-rt.stop:
@@ -285,6 +372,8 @@ func (rt *Router) Close() {
 		close(rt.stop)
 	}
 	<-rt.done
+	<-rt.repairDone
+	rt.aud.close()
 }
 
 // shardList returns a point-in-time copy of the membership slice. With
@@ -318,10 +407,14 @@ func (rt *Router) rebuildRing() {
 	ready := make([]*shard, 0, len(shards))
 	for _, sh := range shards {
 		sh.mu.Lock()
-		if sh.ready && sh.drain == "" && !sh.removed {
+		ok := sh.ready && sh.drain == "" && !sh.removed
+		sh.mu.Unlock()
+		// An open breaker fences the shard exactly like a failed probe; a
+		// half-open one stays in the ring so the trial request can reach
+		// it. Checked outside sh.mu — the breaker has its own lock.
+		if ok && !sh.brk.isOpen() {
 			ready = append(ready, sh)
 		}
-		sh.mu.Unlock()
 	}
 	r := buildRing(ready, rt.cfg.VNodes)
 	rt.mu.Lock()
@@ -471,11 +564,18 @@ func dialFailure(err error) bool {
 // responses; other methods get exactly one attempt — a connection cut
 // mid-POST may have already enqueued the job, and replaying it would
 // duplicate work. A transport failure ejects the shard from the ring
-// immediately (the probe loop readmits it when it recovers). Reports
-// whether a response was written — including the 429 when the shard is at
-// its in-flight limit.
+// immediately (the probe loop readmits it when it recovers), and every
+// attempt's outcome feeds the shard's circuit breaker. Reports whether a
+// response was written — including the 429 when the shard is at its
+// in-flight limit and the 503 when its breaker refuses the request.
 func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, sh *shard, pathq string, body []byte) bool {
+	brkOK, trial := rt.breakerAllow(sh)
+	if !brkOK {
+		rt.writeBreakerRefused(w, sh.name)
+		return true
+	}
 	if !rt.admit(sh) {
+		rt.breakerCancel(sh, trial)
 		rt.writeSaturated(w, fmt.Sprintf("shard %s at its in-flight limit", sh.name))
 		return true
 	}
@@ -491,6 +591,7 @@ func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, sh *shard, p
 			select {
 			case <-time.After(rt.cfg.Retry.Delay(i-1, nil)):
 			case <-r.Context().Done():
+				rt.breakerCancel(sh, trial)
 				return false
 			}
 		}
@@ -498,13 +599,18 @@ func (rt *Router) forwardTo(w http.ResponseWriter, r *http.Request, sh *shard, p
 		if err != nil {
 			rt.failed.Add(1)
 			sh.failed.Add(1)
+			rt.breakerRecord(sh, false, trial)
+			trial = false
 			rt.eject(sh)
 			continue
 		}
 		if resp.StatusCode >= 500 && r.Method == http.MethodGet && i+1 < attempts {
+			rt.breakerRecord(sh, false, trial)
+			trial = false
 			discard(resp)
 			continue
 		}
+		rt.breakerRecord(sh, resp.StatusCode < 500, trial)
 		rt.relay(w, resp, sh)
 		return true
 	}
@@ -559,13 +665,19 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Ring replicas are the failover order. A POST fails over only on dial
 	// failures — the request never left, so no shard could have enqueued
 	// it; any later transport error is ambiguous and surfaces as 502. A
-	// replica at its in-flight limit is skipped the same way a dead one
-	// is; a submission finding every replica saturated gets the 429.
-	// Backend responses (including 429 backpressure with its Retry-After)
-	// relay verbatim: the client's own RetryPolicy honours them.
+	// replica at its in-flight limit — or one whose circuit breaker
+	// refuses the request — is skipped the same way a dead one is; a
+	// submission finding every replica saturated gets the 429. Backend
+	// responses (including 429 backpressure with its Retry-After) relay
+	// verbatim: the client's own RetryPolicy honours them.
 	sawSaturated := false
 	for _, sh := range rt.replicasFor(key) {
+		brkOK, trial := rt.breakerAllow(sh)
+		if !brkOK {
+			continue
+		}
 		if !rt.admit(sh) {
+			rt.breakerCancel(sh, trial)
 			sawSaturated = true
 			continue
 		}
@@ -574,6 +686,7 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			rt.release(sh)
 			rt.failed.Add(1)
 			sh.failed.Add(1)
+			rt.breakerRecord(sh, false, trial)
 			rt.eject(sh)
 			if dialFailure(err) {
 				rt.retried.Add(1)
@@ -584,6 +697,7 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("forwarding solve to %s: %v", sh.name, err))
 			return
 		}
+		rt.breakerRecord(sh, resp.StatusCode < 500, trial)
 		rt.relay(w, resp, sh)
 		rt.release(sh)
 		return
@@ -615,7 +729,16 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		if !sh.isAlive() {
 			continue
 		}
+		// A breaker-refused shard may still own the job, so — like the
+		// saturated case below — the broadcast must answer "retry", never
+		// a false "not found".
+		brkOK, trial := rt.breakerAllow(sh)
+		if !brkOK {
+			sawSaturated = true
+			continue
+		}
 		if !rt.admit(sh) {
+			rt.breakerCancel(sh, trial)
 			sawSaturated = true
 			continue
 		}
@@ -624,9 +747,11 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 			rt.release(sh)
 			rt.failed.Add(1)
 			sh.failed.Add(1)
+			rt.breakerRecord(sh, false, trial)
 			rt.eject(sh)
 			continue
 		}
+		rt.breakerRecord(sh, resp.StatusCode < 500, trial)
 		if resp.StatusCode == http.StatusNotFound {
 			sawNotFound = true
 			discard(resp)

@@ -43,6 +43,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"phmse/internal/encode"
@@ -131,6 +132,12 @@ type Config struct {
 	// authenticate cluster-wide; empty leaves the endpoints open (the
 	// single-daemon and test default).
 	AdminToken string
+	// TransferInflight caps concurrent posterior imports (PUT
+	// /v1/posteriors/{id}); excess imports are answered 429 queue_full with
+	// Retry-After so the router's transfer retries back off instead of
+	// dogpiling a shard that is absorbing a migration wave. 0 (the default)
+	// disables the cap.
+	TransferInflight int
 }
 
 func (c Config) withDefaults() Config {
@@ -204,6 +211,10 @@ type Server struct {
 	mgr   *manager
 	mux   *http.ServeMux
 	start time.Time
+	// transferInflight gauges concurrent posterior imports against
+	// Config.TransferInflight; transferRejected counts imports turned away.
+	transferInflight atomic.Int64
+	transferRejected atomic.Int64
 }
 
 // New builds a serving instance and starts its worker pool.
@@ -554,6 +565,11 @@ type MetricsPosteriorStore struct {
 	// source side of an acked migration).
 	Imported int64 `json:"imported,omitempty"`
 	Removed  int64 `json:"removed,omitempty"`
+	// ImportInflight/ImportRejected report the transfer import gate
+	// (Config.TransferInflight): concurrent PUTs right now, and PUTs shed
+	// with 429 since startup.
+	ImportInflight int64 `json:"import_inflight,omitempty"`
+	ImportRejected int64 `json:"import_rejected,omitempty"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -585,18 +601,20 @@ func (s *Server) Snapshot() Metrics {
 		WorkspacePool: pool.Snapshot(),
 		PlanCache:     MetricsPlanCache{Hits: hits, Misses: misses, Entries: entries},
 		Posteriors: MetricsPosteriorStore{
-			Entries:       ps.entries,
-			Bytes:         ps.bytes,
-			CapacityBytes: ps.capacity,
-			Hits:          ps.hits,
-			Misses:        ps.misses,
-			Stored:        ps.stored,
-			Rejected:      ps.rejected,
-			Evicted:       ps.evicted,
-			Persisted:     ps.persisted,
-			Loaded:        ps.loaded,
-			Imported:      ps.imported,
-			Removed:       ps.removed,
+			Entries:        ps.entries,
+			Bytes:          ps.bytes,
+			CapacityBytes:  ps.capacity,
+			Hits:           ps.hits,
+			Misses:         ps.misses,
+			Stored:         ps.stored,
+			Rejected:       ps.rejected,
+			Evicted:        ps.evicted,
+			Persisted:      ps.persisted,
+			Loaded:         ps.loaded,
+			Imported:       ps.imported,
+			Removed:        ps.removed,
+			ImportInflight: s.transferInflight.Load(),
+			ImportRejected: s.transferRejected.Load(),
 		},
 		OpTimes: s.mgr.rec.Snapshot(),
 	}
