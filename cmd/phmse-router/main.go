@@ -49,6 +49,10 @@ func main() {
 		flapCount    = flag.Int("breaker-flap-count", 3, "ring readmissions within the flap window that quarantine a shard (-1 disables flap suppression)")
 		flapWindow   = flag.Duration("breaker-flap-window", time.Minute, "sliding window for counting ring readmissions")
 		auditLog     = flag.String("audit-log", "", "append-only JSONL file recording membership changes and repair sweeps (empty keeps the in-memory tail only)")
+		replicaID    = flag.String("replica-id", "", "stable name of this router replica in the replicated membership document (empty mints a random r-<hex> id)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of the other router replicas to gossip membership with (empty = single-router control plane)")
+		gossipEvery  = flag.Duration("gossip-interval", time.Second, "anti-entropy membership exchange period between router replicas")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "repair-sweeper lease duration (0 = 3x the repair interval)")
 		pprofAddr    = flag.String("pprof-addr", "", "listen address for net/http/pprof debug endpoints (empty disables)")
 	)
 	flag.Parse()
@@ -61,6 +65,12 @@ func main() {
 	for _, s := range strings.Split(*shards, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			bases = append(bases, s)
+		}
+	}
+	var peerList []string
+	for _, s := range strings.Split(*peers, ",") {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+			peerList = append(peerList, s)
 		}
 	}
 	if len(bases) == 0 {
@@ -93,6 +103,10 @@ func main() {
 		FlapCount:         *flapCount,
 		FlapWindow:        *flapWindow,
 		AuditLog:          *auditLog,
+		ReplicaID:         *replicaID,
+		Peers:             peerList,
+		GossipInterval:    *gossipEvery,
+		LeaseTTL:          *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("phmse-router: %v", err)
@@ -110,7 +124,7 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: rt}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("phmse-router: serving on %s over %d shard(s)", *addr, len(bases))
+	log.Printf("phmse-router: serving on %s over %d shard(s), %d gossip peer(s)", *addr, len(bases), len(peerList))
 
 	select {
 	case err := <-errc:

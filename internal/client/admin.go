@@ -117,6 +117,27 @@ func (a *Admin) Audit(ctx context.Context, limit int) (encode.AuditLog, error) {
 	return out, nil
 }
 
+// ClusterState returns the router replica's replicated-control-plane
+// view: its replica id, its current epoch-stamped membership document,
+// and the exchange health of its configured gossip peers.
+func (a *Admin) ClusterState(ctx context.Context) (encode.ClusterView, error) {
+	var out encode.ClusterView
+	if err := a.c.do(ctx, http.MethodGet, "/cluster/v1/state", nil, &out); err != nil {
+		return encode.ClusterView{}, err
+	}
+	return out, nil
+}
+
+// Peers returns just the peer-health slice of the replica's cluster
+// view — the quick "is gossip healthy" probe.
+func (a *Admin) Peers(ctx context.Context) ([]encode.ClusterPeer, error) {
+	view, err := a.ClusterState(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return view.Peers, nil
+}
+
 // DrainShard fences a shard out of the ring, waits for its in-flight
 // jobs (bounded by deadline; 0 keeps the router's default), and migrates
 // its retained posteriors — but keeps it registered in state "drained",

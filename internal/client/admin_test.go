@@ -145,3 +145,69 @@ func TestAdminErrorMapping(t *testing.T) {
 		t.Fatalf("message %q", ae.Message)
 	}
 }
+
+func TestAdminClusterStateWire(t *testing.T) {
+	want := encode.ClusterView{
+		ReplicaID: "ra",
+		Doc: encode.ClusterDoc{
+			Epoch:  7,
+			Origin: "rb",
+			Members: []encode.ClusterMember{
+				{Base: "http://s1:8080"},
+				{Base: "http://s2:8080", DrainState: "drained", Quarantines: 1},
+			},
+			Lease: encode.RepairLease{Holder: "rb", Epoch: 6, ExpiresUnixMs: 1700000000000},
+			Hash:  "deadbeef",
+		},
+		Peers: []encode.ClusterPeer{{Base: "http://rb:8090", InSync: true, LastContactUnixMs: 1700000000001}},
+	}
+	a, calls := adminStub(t, "tok", http.StatusOK, want)
+	got, err := a.ClusterState(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReplicaID != "ra" || got.Doc.Epoch != 7 || got.Doc.Origin != "rb" || got.Doc.Hash != "deadbeef" {
+		t.Fatalf("decoded view: %+v", got)
+	}
+	if len(got.Doc.Members) != 2 || got.Doc.Members[1] != want.Doc.Members[1] {
+		t.Fatalf("decoded members: %+v", got.Doc.Members)
+	}
+	if got.Doc.Lease != want.Doc.Lease {
+		t.Fatalf("decoded lease: %+v", got.Doc.Lease)
+	}
+	if len(got.Peers) != 1 || got.Peers[0] != want.Peers[0] {
+		t.Fatalf("decoded peers: %+v", got.Peers)
+	}
+	c := (*calls)[0]
+	if c.method != http.MethodGet || c.path != "/cluster/v1/state" || c.query != "" {
+		t.Fatalf("wire: %s %s?%s", c.method, c.path, c.query)
+	}
+	if c.auth != "Bearer tok" {
+		t.Fatalf("authorization header %q, want bearer token", c.auth)
+	}
+}
+
+func TestAdminPeersWire(t *testing.T) {
+	view := encode.ClusterView{
+		ReplicaID: "ra",
+		Peers: []encode.ClusterPeer{
+			{Base: "http://rb:8090", InSync: true},
+			{Base: "http://rc:8090", LastError: "dial tcp: connection refused"},
+		},
+	}
+	a, calls := adminStub(t, "", http.StatusOK, view)
+	peers, err := a.Peers(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != view.Peers[0] || peers[1] != view.Peers[1] {
+		t.Fatalf("decoded peers: %+v", peers)
+	}
+	c := (*calls)[0]
+	if c.method != http.MethodGet || c.path != "/cluster/v1/state" {
+		t.Fatalf("wire: %s %s", c.method, c.path)
+	}
+	if c.auth != "" {
+		t.Fatalf("authorization header %q on an open admin plane", c.auth)
+	}
+}

@@ -1,0 +1,106 @@
+// Package cluster implements the router's replicated control plane: an
+// epoch-stamped membership document and the anti-entropy gossip loop
+// that converges every router replica onto the same document without a
+// coordinator.
+//
+// The document is a last-writer-wins register. Each mutation happens at
+// exactly one replica, under that replica's admin mutex: the replica
+// copies its current document, bumps Epoch by one, stamps itself as
+// Origin, applies the edit, and recomputes the content hash. Merges pick
+// the higher epoch; equal epochs with different content (two replicas
+// mutated concurrently from the same base) are broken deterministically
+// by comparing hashes, so both sides pick the same winner and the losing
+// mutation must be re-issued. That trade — one admin mutation can lose a
+// true concurrent race — buys a protocol with no quorums and no external
+// store, which fits the admin plane's human-paced mutation rate.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"phmse/internal/encode"
+)
+
+// Normalize puts a document into canonical form: members sorted by Base.
+// Hashing and comparison assume canonical form, so every path that edits
+// Members must normalize before stamping.
+func Normalize(doc *encode.ClusterDoc) {
+	sort.Slice(doc.Members, func(i, j int) bool {
+		return doc.Members[i].Base < doc.Members[j].Base
+	})
+}
+
+// HashDoc computes the canonical content hash: hex sha-256 over the JSON
+// encoding of the normalized document with the Hash field emptied.
+func HashDoc(doc encode.ClusterDoc) string {
+	doc.Members = append([]encode.ClusterMember(nil), doc.Members...)
+	Normalize(&doc)
+	doc.Hash = ""
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		// Marshal of a plain struct cannot fail; keep the signature
+		// clean rather than threading an impossible error.
+		panic(fmt.Sprintf("cluster: hashing membership doc: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Stamp normalizes the document and fills in its content hash.
+func Stamp(doc *encode.ClusterDoc) {
+	Normalize(doc)
+	doc.Hash = HashDoc(*doc)
+}
+
+// Wins reports whether candidate beats incumbent under the merge rule:
+// higher epoch wins; an equal epoch is broken by the lexically greater
+// hash so concurrent mutations converge on one winner everywhere.
+func Wins(candidate, incumbent encode.ClusterDoc) bool {
+	if candidate.Epoch != incumbent.Epoch {
+		return candidate.Epoch > incumbent.Epoch
+	}
+	return candidate.Hash > incumbent.Hash
+}
+
+// FindMember returns a pointer into doc.Members for the given base, or
+// nil when absent.
+func FindMember(doc *encode.ClusterDoc, base string) *encode.ClusterMember {
+	for i := range doc.Members {
+		if doc.Members[i].Base == base {
+			return &doc.Members[i]
+		}
+	}
+	return nil
+}
+
+// SetMember inserts or replaces the member with m.Base.
+func SetMember(doc *encode.ClusterDoc, m encode.ClusterMember) {
+	if cur := FindMember(doc, m.Base); cur != nil {
+		*cur = m
+		return
+	}
+	doc.Members = append(doc.Members, m)
+}
+
+// RemoveMember deletes the member with the given base; it reports
+// whether anything was removed.
+func RemoveMember(doc *encode.ClusterDoc, base string) bool {
+	for i := range doc.Members {
+		if doc.Members[i].Base == base {
+			doc.Members = append(doc.Members[:i], doc.Members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// cloneDoc deep-copies a document so mutations never alias a published
+// snapshot.
+func cloneDoc(doc encode.ClusterDoc) encode.ClusterDoc {
+	doc.Members = append([]encode.ClusterMember(nil), doc.Members...)
+	return doc
+}

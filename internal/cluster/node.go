@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"phmse/internal/encode"
+)
+
+// Config wires a Node to its replica identity, its peers, and the router
+// callbacks that apply adopted documents.
+type Config struct {
+	// ReplicaID names this replica in Origin stamps, lease tokens and
+	// gossip exchanges.
+	ReplicaID string
+	// Peers lists the other router replicas' base URLs.
+	Peers []string
+	// Interval is the gossip period. 0 picks the 1s default; a
+	// negative value disables the background loop (exchanges still
+	// happen via GossipNow and inbound HandleExchange — the test
+	// mode).
+	Interval time.Duration
+	// Timeout bounds one peer exchange (default 3s).
+	Timeout time.Duration
+	// AuthToken, when set, is presented as a bearer token on outbound
+	// exchanges (peers gate /cluster/v1/state behind their admin
+	// token).
+	AuthToken string
+	// HTTPClient overrides the exchange transport (tests).
+	HTTPClient *http.Client
+	// OnAdopt fires after a remote document has replaced the local
+	// one, outside the node lock. The router applies the new
+	// membership there; it must tolerate being called for documents it
+	// has already folded in.
+	OnAdopt func()
+	// OnConflict fires when an equal-epoch remote document lost the
+	// tie-break and was rejected, outside the node lock.
+	OnConflict func(remoteOrigin, remoteHash string)
+	// Logf receives gossip diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Node holds one replica's copy of the membership document and runs the
+// anti-entropy exchanges that keep it converged with its peers.
+type Node struct {
+	cfg Config
+
+	mu    sync.Mutex
+	doc   encode.ClusterDoc
+	peers []*peerState
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	rounds    atomic.Int64
+	inSync    atomic.Int64
+	adopted   atomic.Int64
+	conflicts atomic.Int64
+	pushes    atomic.Int64
+	failures  atomic.Int64
+	rejected  atomic.Int64
+}
+
+type peerState struct {
+	base        string
+	lastContact time.Time
+	lastErr     string
+	inSync      bool
+}
+
+// New builds a node around an initial document. The document is stamped
+// (normalized + hashed) as given — replicas booted from identical -shards
+// flags start with identical epoch-0 documents and are in sync before the
+// first exchange.
+func New(cfg Config, initial encode.ClusterDoc) *Node {
+	if cfg.Interval == 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * time.Second
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: cfg.Timeout}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	Stamp(&initial)
+	n := &Node{
+		cfg:  cfg,
+		doc:  initial,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		n.peers = append(n.peers, &peerState{base: p})
+	}
+	return n
+}
+
+// Start launches the background gossip loop. With no peers or a negative
+// interval there is nothing to run and the loop exits immediately.
+func (n *Node) Start() {
+	go n.loop()
+}
+
+// Close stops the gossip loop and waits for it.
+func (n *Node) Close() {
+	close(n.stop)
+	<-n.done
+}
+
+// Kick requests an immediate gossip round (coalesced). Admin mutations
+// kick so changes propagate without waiting out the interval.
+func (n *Node) Kick() {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Current returns a deep copy of the node's document.
+func (n *Node) Current() encode.ClusterDoc {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return cloneDoc(n.doc)
+}
+
+// Mutate runs one CAS-style local mutation: fn receives a copy of the
+// current document with the epoch already bumped and this replica
+// stamped as origin, edits it in place, and returns whether to commit.
+// On commit the stamped result becomes current and is returned with
+// changed=true; on abort the original document is returned unchanged.
+// The whole step runs under the node lock, so concurrent local mutations
+// serialize and each consumes its own epoch.
+func (n *Node) Mutate(fn func(doc *encode.ClusterDoc) bool) (encode.ClusterDoc, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	next := cloneDoc(n.doc)
+	next.Epoch++
+	next.Origin = n.cfg.ReplicaID
+	if !fn(&next) {
+		return cloneDoc(n.doc), false
+	}
+	Stamp(&next)
+	n.doc = next
+	return cloneDoc(next), true
+}
+
+// mergeOutcome classifies what merge did with a remote document.
+type mergeOutcome int
+
+const (
+	mergeRejected        mergeOutcome = iota // bad hash: ignored
+	mergeInSync                              // identical content
+	mergeStale                               // local wins (higher epoch)
+	mergeAdopted                             // remote wins (higher epoch)
+	mergeAdoptedConflict                     // equal epoch, remote hash wins
+	mergeKeptConflict                        // equal epoch, local hash wins
+)
+
+// merge folds a remote document into the node under the merge rule and
+// fires the adopt/conflict callbacks outside the lock.
+func (n *Node) merge(remote encode.ClusterDoc) mergeOutcome {
+	if HashDoc(remote) != remote.Hash {
+		n.rejected.Add(1)
+		n.cfg.Logf("cluster: rejecting doc from %q: hash mismatch", remote.Origin)
+		return mergeRejected
+	}
+	n.mu.Lock()
+	out := mergeStale
+	switch {
+	case remote.Hash == n.doc.Hash && remote.Epoch == n.doc.Epoch:
+		out = mergeInSync
+	case remote.Epoch > n.doc.Epoch:
+		n.doc = cloneDoc(remote)
+		out = mergeAdopted
+	case remote.Epoch == n.doc.Epoch && remote.Hash != n.doc.Hash:
+		if Wins(remote, n.doc) {
+			n.doc = cloneDoc(remote)
+			out = mergeAdoptedConflict
+		} else {
+			out = mergeKeptConflict
+		}
+	}
+	n.mu.Unlock()
+
+	switch out {
+	case mergeAdopted, mergeAdoptedConflict:
+		n.adopted.Add(1)
+		if out == mergeAdoptedConflict {
+			n.conflicts.Add(1)
+		}
+		if n.cfg.OnAdopt != nil {
+			n.cfg.OnAdopt()
+		}
+	case mergeKeptConflict:
+		n.conflicts.Add(1)
+		if n.cfg.OnConflict != nil {
+			n.cfg.OnConflict(remote.Origin, remote.Hash)
+		}
+	}
+	return out
+}
+
+// TryAcquireLease attempts to take or renew the repair lease. It
+// succeeds when the lease is free, expired, or already held by this
+// replica; on success the document is CAS-bumped with this replica as
+// holder and a fresh expiry, fencing the acquisition at the new epoch.
+func (n *Node) TryAcquireLease(now time.Time, ttl time.Duration) bool {
+	_, ok := n.Mutate(func(doc *encode.ClusterDoc) bool {
+		l := doc.Lease
+		if l.Holder != "" && l.Holder != n.cfg.ReplicaID && now.UnixMilli() < l.ExpiresUnixMs {
+			return false // a live lease someone else holds
+		}
+		doc.Lease = encode.RepairLease{
+			Holder:        n.cfg.ReplicaID,
+			Epoch:         doc.Epoch,
+			ExpiresUnixMs: now.Add(ttl).UnixMilli(),
+		}
+		return true
+	})
+	return ok
+}
+
+// HoldsLease reports whether this replica holds a live repair lease.
+func (n *Node) HoldsLease(now time.Time) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := n.doc.Lease
+	return l.Holder == n.cfg.ReplicaID && now.UnixMilli() < l.ExpiresUnixMs
+}
+
+// Stats is a point-in-time snapshot for /metrics.
+type Stats struct {
+	ReplicaID string
+	Epoch     uint64
+	Origin    string
+	Hash      string
+	Members   int
+	Lease     encode.RepairLease
+	Peers     []encode.ClusterPeer
+	Rounds    int64
+	InSync    int64
+	Adopted   int64
+	Conflicts int64
+	Pushes    int64
+	Failures  int64
+	Rejected  int64
+}
+
+// Snapshot assembles the node's stats.
+func (n *Node) Snapshot() Stats {
+	n.mu.Lock()
+	st := Stats{
+		ReplicaID: n.cfg.ReplicaID,
+		Epoch:     n.doc.Epoch,
+		Origin:    n.doc.Origin,
+		Hash:      n.doc.Hash,
+		Members:   len(n.doc.Members),
+		Lease:     n.doc.Lease,
+		Peers:     n.peerStatesLocked(),
+	}
+	n.mu.Unlock()
+	st.Rounds = n.rounds.Load()
+	st.InSync = n.inSync.Load()
+	st.Adopted = n.adopted.Load()
+	st.Conflicts = n.conflicts.Load()
+	st.Pushes = n.pushes.Load()
+	st.Failures = n.failures.Load()
+	st.Rejected = n.rejected.Load()
+	return st
+}
+
+// PeerStates reports the configured peers' last-exchange health.
+func (n *Node) PeerStates() []encode.ClusterPeer {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peerStatesLocked()
+}
+
+func (n *Node) peerStatesLocked() []encode.ClusterPeer {
+	out := make([]encode.ClusterPeer, 0, len(n.peers))
+	for _, p := range n.peers {
+		cp := encode.ClusterPeer{Base: p.base, LastError: p.lastErr, InSync: p.inSync}
+		if !p.lastContact.IsZero() {
+			cp.LastContactUnixMs = p.lastContact.UnixMilli()
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+func (n *Node) peerOK(p *peerState, inSync bool) {
+	n.mu.Lock()
+	p.lastContact = time.Now()
+	p.lastErr = ""
+	p.inSync = inSync
+	n.mu.Unlock()
+}
+
+func (n *Node) peerFail(p *peerState, err error) {
+	n.failures.Add(1)
+	n.mu.Lock()
+	p.lastErr = err.Error()
+	p.inSync = false
+	n.mu.Unlock()
+}

@@ -110,8 +110,15 @@ type RepairReport struct {
 type AuditEntry struct {
 	// Time is the RFC3339Nano UTC stamp the router assigned.
 	Time string `json:"time"`
-	// Op is "add", "reactivate", "remove", "drain", or "repair".
+	// Op is "add", "reactivate", "remove", "drain", "repair", "apply"
+	// (a membership document adopted from a gossip peer took effect) or
+	// "conflict" (an equal-epoch peer document lost the deterministic
+	// tie-break and was rejected).
 	Op string `json:"op"`
+	// Origin is the replica id whose mutation produced this entry: the
+	// local replica for operations applied here, the originating peer
+	// for gossip-applied documents.
+	Origin string `json:"origin,omitempty"`
 	// Shard is the affected member's base URL ("" for repair sweeps).
 	Shard string `json:"shard,omitempty"`
 	// Mode is the removal mode ("drain" or "immediate") when Op is
@@ -128,6 +135,9 @@ type AuditEntry struct {
 	// left behind (for repairs: repaired and failed).
 	Migrated int `json:"migrated,omitempty"`
 	Failed   int `json:"failed,omitempty"`
+	// Detail summarizes a gossip apply: the members added (+base),
+	// removed (-base) and re-fenced (~base) by the adopted document.
+	Detail string `json:"detail,omitempty"`
 }
 
 // AuditLog is the GET /admin/v1/audit document, oldest entry first.

@@ -56,7 +56,7 @@ func shardIndex(t *testing.T, b *backend, prefix string) encode.PosteriorIndex {
 // expectOwner computes which base URL a ring over the given backends
 // assigns to the problem's topology key — the test-side oracle for where
 // a migration must have placed a posterior.
-func expectOwner(cl *cluster, p *molecule.Problem, backends ...*backend) string {
+func expectOwner(cl *testCluster, p *molecule.Problem, backends ...*backend) string {
 	var shards []*shard
 	for _, b := range backends {
 		shards = append(shards, &shard{name: b.url(), base: b.url()})
@@ -64,7 +64,7 @@ func expectOwner(cl *cluster, p *molecule.Problem, backends ...*backend) string 
 	return buildRing(shards, cl.rt.cfg.VNodes).lookup(encode.TopologyHash(p)).name
 }
 
-func (cl *cluster) resultCycles(t *testing.T, id string) int {
+func (cl *testCluster) resultCycles(t *testing.T, id string) int {
 	t.Helper()
 	doc, err := cl.c.Result(context.Background(), id)
 	if err != nil {

@@ -1,0 +1,249 @@
+package router
+
+// The router's half of the replicated control plane (internal/cluster):
+// every replica keeps an epoch-stamped membership document, admin
+// mutations CAS-bump it under adminMu, and an anti-entropy gossip loop
+// converges the replicas so a mutation applied at ANY router reflects in
+// every ring within one gossip round.
+//
+// The document — not rt.shards — is the source of truth. Admin
+// operations first fold in any document adopted from a peer but not yet
+// applied (apply-on-entry), then mutate the document, then reconcile the
+// in-memory shard set to it. Gossip adoptions run the same
+// reconciliation under the same adminMu, so local mutations and
+// peer-applied documents can never interleave on ring generations.
+// Remote applies never run migration passes: the mutating replica owns
+// the migration, and the repair lease (one sweeper per interval,
+// epoch-fenced in the document) converges any posterior a failed pass
+// left behind.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"phmse/internal/cluster"
+	"phmse/internal/encode"
+)
+
+// initialClusterDoc builds the epoch-0 bootstrap document from the
+// configured shard set. Replicas booted from identical -shards flags
+// stamp identical documents and are in sync before the first exchange.
+func initialClusterDoc(shards []*shard) encode.ClusterDoc {
+	doc := encode.ClusterDoc{}
+	for _, sh := range shards {
+		doc.Members = append(doc.Members, encode.ClusterMember{Base: sh.base})
+	}
+	return doc
+}
+
+// mutateDoc runs one CAS mutation of the membership document and kicks
+// the gossip loop so the new epoch propagates without waiting out the
+// interval. Callers hold adminMu (publishQuarantine is the one
+// exception: it edits a single member's quarantine counter, which
+// reconciliation merges max-wise, so it cannot lose an interleaved
+// membership update).
+func (rt *Router) mutateDoc(fn func(doc *encode.ClusterDoc) bool) {
+	if _, changed := rt.cnode.Mutate(fn); changed {
+		rt.cnode.Kick()
+	}
+}
+
+// GossipNow runs one synchronous anti-entropy round against every
+// configured peer. By return, every document adopted from a peer has
+// been applied to this router's ring and every peer this router's
+// document beat has merged (and applied) it. Exported for tests and
+// deterministic orchestration.
+func (rt *Router) GossipNow(ctx context.Context) {
+	rt.cnode.GossipNow(ctx)
+}
+
+// onClusterAdopt fires (outside the node lock) whenever a peer's
+// document replaced the local one; it applies the adopted membership.
+func (rt *Router) onClusterAdopt() {
+	rt.adminMu.Lock()
+	defer rt.adminMu.Unlock()
+	rt.applyDocLocked(context.Background())
+}
+
+// onClusterConflict records an equal-epoch document that lost the
+// deterministic tie-break: the peer's mutation was rejected here (and
+// will be overwritten there), which an operator should be able to see.
+func (rt *Router) onClusterConflict(remoteOrigin, remoteHash string) {
+	short := remoteHash
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	rt.aud.append(encode.AuditEntry{
+		Op: "conflict", Origin: remoteOrigin, Outcome: "rejected",
+		Detail: fmt.Sprintf("equal-epoch document %s lost the tie-break", short),
+	})
+}
+
+// applyDocLocked reconciles the in-memory shard set to the node's
+// current document. Callers hold adminMu. Only an effective membership
+// change (member added, removed, or drain state moved) is audited —
+// lease renewals and quarantine syncs bump epochs constantly and are
+// operational noise, not history.
+func (rt *Router) applyDocLocked(ctx context.Context) {
+	doc := rt.cnode.Current()
+	detail := rt.reconcileMembership(ctx, doc)
+	if detail == "" {
+		return
+	}
+	rt.clusterApplies.Add(1)
+	rt.aud.append(encode.AuditEntry{
+		Op: "apply", Origin: doc.Origin, Outcome: "ok", Detail: detail,
+	})
+}
+
+// reconcileMembership syncs rt.shards to the document: members the
+// document lacks are ejected (exactly like an admin removal, minus the
+// migration — the origin replica ran that), new members join pessimistic
+// and are admitted by a synchronous probe so "converged within one
+// gossip round" includes the ring, and drain fences and quarantine
+// counters follow the document. Returns a "+base -base ~base" summary of
+// the effective changes, "" when membership already matched.
+func (rt *Router) reconcileMembership(ctx context.Context, doc encode.ClusterDoc) string {
+	var changes []string
+	inDoc := make(map[string]*encode.ClusterMember, len(doc.Members))
+	for i := range doc.Members {
+		inDoc[doc.Members[i].Base] = &doc.Members[i]
+	}
+
+	// Eject local members the document no longer lists.
+	local := make(map[string]*shard)
+	for _, sh := range rt.shardList() {
+		local[sh.base] = sh
+		if inDoc[sh.base] != nil {
+			continue
+		}
+		sh.mu.Lock()
+		already := sh.removed
+		sh.removed = true
+		instance := sh.instance
+		sh.mu.Unlock()
+		if already {
+			continue
+		}
+		rt.mu.Lock()
+		for i, s := range rt.shards {
+			if s == sh {
+				rt.shards = append(rt.shards[:i], rt.shards[i+1:]...)
+				break
+			}
+		}
+		if instance != "" && rt.byInstance[instance] == sh {
+			delete(rt.byInstance, instance)
+		}
+		rt.mu.Unlock()
+		changes = append(changes, "-"+sh.base)
+	}
+
+	// Add missing members and sync drain/quarantine state on the rest.
+	var toProbe []*shard
+	for _, m := range doc.Members {
+		sh := local[m.Base]
+		if sh == nil {
+			sh = &shard{name: m.Base, base: m.Base, drain: m.DrainState, quarantines: m.Quarantines}
+			rt.mu.Lock()
+			rt.shards = append(rt.shards, sh)
+			rt.mu.Unlock()
+			if m.DrainState == "" {
+				toProbe = append(toProbe, sh)
+			}
+			changes = append(changes, "+"+m.Base)
+			continue
+		}
+		sh.mu.Lock()
+		if m.Quarantines > sh.quarantines {
+			sh.quarantines = m.Quarantines
+		}
+		if sh.drain != m.DrainState {
+			unfenced := m.DrainState == "" // reactivated by a peer
+			sh.drain = m.DrainState
+			sh.mu.Unlock()
+			if unfenced {
+				toProbe = append(toProbe, sh)
+			}
+			changes = append(changes, "~"+m.Base)
+			continue
+		}
+		sh.mu.Unlock()
+	}
+
+	// Probe the members that just became ring-eligible, concurrently but
+	// synchronously: when reconciliation returns, a live new member is in
+	// the ring.
+	var wg sync.WaitGroup
+	for _, sh := range toProbe {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			rt.probeShard(ctx, sh)
+		}(sh)
+	}
+	wg.Wait()
+
+	if len(changes) == 0 {
+		return ""
+	}
+	rt.rebuildRing()
+	sort.Strings(changes)
+	return strings.Join(changes, " ")
+}
+
+// publishQuarantine folds a shard's new quarantine count into the
+// document so the probation it triggered is served cluster-wide. Called
+// from the probe path, deliberately without adminMu (see mutateDoc).
+func (rt *Router) publishQuarantine(base string, quarantines int) {
+	rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+		m := cluster.FindMember(doc, base)
+		if m == nil || m.Quarantines >= quarantines {
+			return false
+		}
+		m.Quarantines = quarantines
+		return true
+	})
+}
+
+// tryRepairLease attempts to take or renew the repair-sweeper lease for
+// one interval's sweep; the acquisition is gossiped immediately so peers
+// observe the lease before their own tick where possible.
+func (rt *Router) tryRepairLease() bool {
+	if !rt.cnode.TryAcquireLease(time.Now(), rt.cfg.LeaseTTL) {
+		rt.leaseSkips.Add(1)
+		return false
+	}
+	rt.cnode.Kick()
+	return true
+}
+
+// handleClusterState serves GET /cluster/v1/state: the replica's
+// identity, current document, and peer health.
+func (rt *Router) handleClusterState(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, encode.ClusterView{
+		ReplicaID: rt.cfg.ReplicaID,
+		Doc:       rt.cnode.Current(),
+		Peers:     rt.cnode.PeerStates(),
+	})
+}
+
+// handleClusterExchange serves POST /cluster/v1/state, the gossip
+// endpoint. Merging (and any resulting membership apply) happens
+// synchronously before the response, so a sender that pushed a winning
+// document knows the receiver's ring reflects it when the call returns.
+func (rt *Router) handleClusterExchange(w http.ResponseWriter, r *http.Request) {
+	var req encode.GossipRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, encode.CodeBadRequest,
+			fmt.Sprintf("decoding gossip request: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.cnode.HandleExchange(req))
+}

@@ -93,6 +93,7 @@ func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 	now := time.Now()
 	sh.mu.Lock()
 	wasReady := sh.ready
+	wasQuarantines := sh.quarantines
 	sh.alive = alive
 	// Record the readiness document's load signal even when it carried a
 	// 503 (a saturated daemon still reports its occupancy); a dead shard
@@ -128,7 +129,14 @@ func (rt *Router) probeShard(ctx context.Context, sh *shard) {
 		sh.nextProbe = now.Add(backoff)
 	}
 	changed := sh.ready != wasReady
+	quarantines := sh.quarantines
 	sh.mu.Unlock()
+	if quarantines != wasQuarantines {
+		// A fresh quarantine is membership state peers must see: the
+		// shard's probation should be served cluster-wide, not re-learned
+		// by every replica separately.
+		rt.publishQuarantine(sh.name, quarantines)
+	}
 	if sh.brk.tick(now, rt.cfg.BreakerCooldown) {
 		changed = true
 	}

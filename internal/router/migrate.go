@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"phmse/internal/client"
+	"phmse/internal/cluster"
 	"phmse/internal/encode"
 )
 
@@ -46,29 +47,40 @@ var errOversizeTransfer = errors.New("router: transfer body exceeds the protocol
 func (rt *Router) addShard(ctx context.Context, base string) (*encode.AddShardResponse, error) {
 	rt.adminMu.Lock()
 	defer rt.adminMu.Unlock()
+	rt.applyDocLocked(ctx) // fold in any adopted-but-unapplied peer document first
 
 	if sh := rt.findShard(base); sh != nil {
 		sh.mu.Lock()
 		wasDrained := sh.drain != ""
 		sh.drain = ""
+		quarantines := sh.quarantines
 		sh.mu.Unlock()
 		if !wasDrained {
-			rt.aud.append(encode.AuditEntry{Op: "add", Shard: base, Outcome: "conflict"})
+			rt.aud.append(encode.AuditEntry{Op: "add", Shard: base, Outcome: "conflict", Origin: rt.cfg.ReplicaID})
 			return nil, errShardExists
 		}
-		// Reactivation: lift the drain fence, re-probe, and migrate the
-		// shard's old arcs (and their posteriors) back onto it.
+		// Reactivation: lift the drain fence (in the document first, then
+		// locally), re-probe, and migrate the shard's old arcs (and their
+		// posteriors) back onto it.
+		rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+			cluster.SetMember(doc, encode.ClusterMember{Base: sh.name, Quarantines: quarantines})
+			return true
+		})
 		oldRing := rt.currentRing()
 		rt.probeShard(ctx, sh)
 		rt.rebuildRing()
 		rep := rt.rebalance(ctx, oldRing, rt.currentRing(), nil)
 		rt.aud.append(encode.AuditEntry{
-			Op: "reactivate", Shard: sh.name,
+			Op: "reactivate", Shard: sh.name, Origin: rt.cfg.ReplicaID,
 			Outcome: migrationOutcome(rep), Migrated: rep.Migrated, Failed: rep.Failed,
 		})
 		return &encode.AddShardResponse{Shard: rt.shardInfo(sh), Reactivated: true, Migration: rep}, nil
 	}
 
+	rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+		cluster.SetMember(doc, encode.ClusterMember{Base: base})
+		return true
+	})
 	oldRing := rt.currentRing()
 	sh := &shard{name: base, base: base}
 	rt.mu.Lock()
@@ -80,7 +92,7 @@ func (rt *Router) addShard(ctx context.Context, base string) (*encode.AddShardRe
 	rt.rebuildRing()
 	rep := rt.rebalance(ctx, oldRing, rt.currentRing(), nil)
 	rt.aud.append(encode.AuditEntry{
-		Op: "add", Shard: sh.name,
+		Op: "add", Shard: sh.name, Origin: rt.cfg.ReplicaID,
 		Outcome: migrationOutcome(rep), Migrated: rep.Migrated, Failed: rep.Failed,
 	})
 	return &encode.AddShardResponse{Shard: rt.shardInfo(sh), Migration: rep}, nil
@@ -114,6 +126,7 @@ func drainOutcome(rep *encode.DrainReport) string {
 func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadline time.Duration) *encode.DrainReport {
 	rt.adminMu.Lock()
 	defer rt.adminMu.Unlock()
+	rt.applyDocLocked(ctx)
 	rep := &encode.DrainReport{Mode: mode, Removed: true}
 
 	sh.mu.Lock()
@@ -124,6 +137,14 @@ func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadl
 		rep.Shard = rt.shardInfo(sh)
 		return rep
 	}
+	// Fence the member in the document first: peers stop routing to it
+	// within a gossip round, while this replica runs the migration.
+	rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+		if m := cluster.FindMember(doc, sh.name); m != nil {
+			m.DrainState = "draining"
+		}
+		return true
+	})
 	oldRing := rt.currentRing()
 	rt.rebuildRing() // fence: the shard owns no arcs, new solves stop landing
 	newRing := rt.currentRing()
@@ -133,6 +154,9 @@ func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadl
 		rep.Migration = rt.rebalance(ctx, oldRing, newRing, sh)
 	}
 
+	rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+		return cluster.RemoveMember(doc, sh.name)
+	})
 	// Eject from membership. removed is set before the slice and instance
 	// table are touched so a stale probe or relay observing the pointer
 	// can never re-register it.
@@ -153,7 +177,7 @@ func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadl
 	rt.mu.Unlock()
 	rep.Shard = rt.shardInfo(sh)
 	rt.aud.append(encode.AuditEntry{
-		Op: "remove", Shard: sh.name, Mode: mode,
+		Op: "remove", Shard: sh.name, Mode: mode, Origin: rt.cfg.ReplicaID,
 		Outcome: drainOutcome(rep), InflightAtEnd: rep.InflightAtEnd,
 		Migrated: rep.Migration.Migrated, Failed: rep.Migration.Failed,
 	})
@@ -167,12 +191,21 @@ func (rt *Router) removeShard(ctx context.Context, sh *shard, mode string, deadl
 func (rt *Router) drainShard(ctx context.Context, sh *shard, deadline time.Duration) *encode.DrainReport {
 	rt.adminMu.Lock()
 	defer rt.adminMu.Unlock()
+	rt.applyDocLocked(ctx)
 	rep := &encode.DrainReport{Mode: "drain"}
 
 	sh.mu.Lock()
 	already := sh.drain == "drained"
 	sh.drain = "draining"
 	sh.mu.Unlock()
+	rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+		m := cluster.FindMember(doc, sh.name)
+		if m == nil || m.DrainState == "draining" {
+			return false
+		}
+		m.DrainState = "draining"
+		return true
+	})
 	oldRing := rt.currentRing()
 	rt.rebuildRing()
 	if !already {
@@ -182,9 +215,17 @@ func (rt *Router) drainShard(ctx context.Context, sh *shard, deadline time.Durat
 	sh.mu.Lock()
 	sh.drain = "drained"
 	sh.mu.Unlock()
+	rt.mutateDoc(func(doc *encode.ClusterDoc) bool {
+		m := cluster.FindMember(doc, sh.name)
+		if m == nil || m.DrainState == "drained" {
+			return false
+		}
+		m.DrainState = "drained"
+		return true
+	})
 	rep.Shard = rt.shardInfo(sh)
 	rt.aud.append(encode.AuditEntry{
-		Op: "drain", Shard: sh.name,
+		Op: "drain", Shard: sh.name, Origin: rt.cfg.ReplicaID,
 		Outcome: drainOutcome(rep), InflightAtEnd: rep.InflightAtEnd,
 		Migrated: rep.Migration.Migrated, Failed: rep.Migration.Failed,
 	})
@@ -313,34 +354,154 @@ func (rt *Router) rebalance(ctx context.Context, oldRing, newRing *ring, only *s
 	return rep
 }
 
-// transferPosterior moves one retained posterior: export the full
-// document from the source, import it into the destination, and delete
-// the source copy only after the destination's ack. Any failure before
-// the ack returns an error with the source untouched; a failure of the
-// delete itself is logged but not an error — the posterior is safely at
-// its new owner, and the stale source copy is pruned by a later pass.
+// transferPosterior moves one retained posterior: export the document
+// from the source, import it into the destination, and delete the source
+// copy only after the destination's ack. Any failure before the ack
+// returns an error with the source untouched; a failure of the delete
+// itself is logged but not an error — the posterior is safely at its new
+// owner, and the stale source copy is pruned by a later pass.
 //
-// Each leg runs under the transfer retry policy (adminDo): transient
-// faults — transport errors, 5xx bursts, 429 backpressure — back off and
-// retry inside MigrateTimeout instead of failing the posterior on the
-// first hiccup. The PUT is safe to replay: an import of the same id
-// replaces the entry in place.
+// The export body is piped straight into the import request
+// (streamPosterior) — the router never buffers the document, so a
+// transfer costs O(copy-buffer) memory instead of O(document), and a
+// multi-megabyte covariance document streams through back-pressured by
+// the destination. A streamed body cannot be replayed, so the retry
+// policy wraps the whole export+import pair: each attempt re-opens the
+// export. Transient faults — transport errors, 5xx bursts, 429
+// backpressure — back off and retry inside MigrateTimeout (floored by
+// any Retry-After the backend sent); 507 posterior_budget, other 4xx,
+// and an oversize body stay terminal on first sight. The PUT is safe to
+// replay: an import of the same id replaces the entry in place.
 func (rt *Router) transferPosterior(ctx context.Context, src, dst *shard, info encode.PosteriorInfo) error {
 	tctx, cancel := context.WithTimeout(ctx, rt.cfg.MigrateTimeout)
 	defer cancel()
 	esc := url.PathEscape(info.Job)
 
-	doc, err := rt.adminDo(tctx, http.MethodGet, src.base+"/v1/jobs/"+esc+"/posterior?cov=full", nil)
+	var last error
+	attempts := rt.cfg.Retry.MaxAttempts
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(rt.cfg.Retry.Delay(i-1, last)):
+			case <-tctx.Done():
+				return fmt.Errorf("%w (last: %v)", tctx.Err(), last)
+			}
+		}
+		retryable, err := rt.streamPosterior(tctx, src, dst, esc)
+		if err == nil {
+			if _, derr := rt.adminDo(tctx, http.MethodDelete, src.base+"/v1/posteriors/"+esc, nil); derr != nil {
+				log.Printf("phmse-router: migration: deleting %s from %s after ack: %v", info.Job, src.name, derr)
+			}
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		last = err
+	}
+	return fmt.Errorf("after %d attempts: %w", attempts, last)
+}
+
+// streamPosterior is one export→import attempt: it opens the source's
+// posterior export and pipes the response body directly into the
+// destination's import PUT through a size fence that errors — rather
+// than truncates — past the protocol's transfer limit. Returns whether
+// a failure is worth retrying (transport errors, 5xx, 429) or terminal
+// (oversize body, 507, other 4xx).
+func (rt *Router) streamPosterior(ctx context.Context, src, dst *shard, esc string) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, src.base+"/v1/jobs/"+esc+"/posterior?cov=full", nil)
 	if err != nil {
-		return fmt.Errorf("export: %w", err)
+		return false, fmt.Errorf("export: %w", err)
 	}
-	if _, err := rt.adminDo(tctx, http.MethodPut, dst.base+"/v1/posteriors/"+esc, doc); err != nil {
-		return fmt.Errorf("import: %w", err)
+	rt.authTransfer(req)
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("export: %w", err)
 	}
-	if _, err := rt.adminDo(tctx, http.MethodDelete, src.base+"/v1/posteriors/"+esc, nil); err != nil {
-		log.Printf("phmse-router: migration: deleting %s from %s after ack: %v", info.Job, src.name, err)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		defer discard(resp)
+		retryable, err := classifyTransferResponse(resp)
+		return retryable, fmt.Errorf("export: %w", err)
 	}
-	return nil
+	if resp.ContentLength > maxRequestBody {
+		discard(resp)
+		return false, fmt.Errorf("export: %d-byte document: %w", resp.ContentLength, errOversizeTransfer)
+	}
+
+	// Import leg: the export body is the PUT body. The cap reader fails
+	// the stream past the limit so a truncated document is never passed
+	// off as the import — the destination sees an aborted body, not a
+	// silently clipped one.
+	cr := &capReader{r: resp.Body, limit: maxRequestBody}
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPut, dst.base+"/v1/posteriors/"+esc, cr)
+	if err != nil {
+		resp.Body.Close()
+		return false, fmt.Errorf("import: %w", err)
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	if resp.ContentLength >= 0 {
+		preq.ContentLength = resp.ContentLength
+	}
+	rt.authTransfer(preq)
+	presp, err := rt.hc.Do(preq)
+	resp.Body.Close()
+	if err != nil {
+		if cr.oversize {
+			return false, fmt.Errorf("export of %s: %w", esc, errOversizeTransfer)
+		}
+		return true, fmt.Errorf("import: %w", err)
+	}
+	defer discard(presp)
+	if presp.StatusCode >= 200 && presp.StatusCode <= 299 {
+		return false, nil
+	}
+	retryable, err = classifyTransferResponse(presp)
+	return retryable, fmt.Errorf("import: %w", err)
+}
+
+// authTransfer stamps the router's admin token onto a transfer-protocol
+// request.
+func (rt *Router) authTransfer(req *http.Request) {
+	if rt.cfg.AdminToken != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.cfg.AdminToken)
+	}
+}
+
+// classifyTransferResponse shapes a non-2xx transfer response as a
+// *client.APIError (so RetryPolicy.Delay honours Retry-After) and
+// decides retryability under the adminDo rules: 429 and 5xx retry, 507
+// and other 4xx are terminal.
+func classifyTransferResponse(resp *http.Response) (retryable bool, err error) {
+	var retryAfter time.Duration
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, aerr := strconv.Atoi(v); aerr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	retryable = resp.StatusCode == http.StatusTooManyRequests ||
+		(resp.StatusCode >= 500 && resp.StatusCode != http.StatusInsufficientStorage)
+	return retryable, transferError(resp.StatusCode, retryAfter, body)
+}
+
+// capReader passes through at most limit bytes and then fails the read —
+// a stream that would exceed the transfer protocol's size limit must
+// abort loudly, never truncate.
+type capReader struct {
+	r        io.Reader
+	n        int64
+	limit    int64
+	oversize bool
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	if c.n > c.limit {
+		c.oversize = true
+		return 0, errOversizeTransfer
+	}
+	return n, err
 }
 
 // adminDo issues one migration-protocol request, presenting the router's
@@ -485,11 +646,12 @@ func (rt *Router) holdsPosterior(ctx context.Context, sh *shard, jobID string) b
 // locatePosterior finds the live shard retaining a posterior whose job
 // id's instance qualifier no longer names a member — the shard that
 // minted it was removed and its posteriors migrated. Exact-id index
-// queries fan out to the live shards; the first holder wins (migration
-// guarantees at most one current owner, stale duplicates serve the same
-// document).
+// queries fan out to the live shards, least-loaded first — the holder is
+// equally likely anywhere, so the sequential probes stay off the busy
+// shards; the first holder wins (migration guarantees at most one
+// current owner, stale duplicates serve the same document).
 func (rt *Router) locatePosterior(ctx context.Context, jobID string) *shard {
-	for _, sh := range rt.shardList() {
+	for _, sh := range rt.shardsByLoad() {
 		if !sh.isAlive() {
 			continue
 		}

@@ -50,8 +50,24 @@ func (rt *Router) repairLoop() {
 		case <-rt.repairKick:
 			t.Stop()
 		}
-		rt.RepairNow(context.Background())
+		rt.repairTick()
 	}
+}
+
+// repairTick is one loop iteration: acquire (or renew) the cluster-wide
+// sweeper lease, and only then sweep. With peers configured, exactly one
+// replica holds a live lease per interval — the others observe it via
+// gossip and skip, so two routers never race duplicate transfers of the
+// same posterior. A crashed holder's lease expires after LeaseTTL (3×
+// the interval by default) and any peer takes over. Single-replica
+// deployments always acquire their own lease. The forced sweep (POST
+// /admin/v1/repair → RepairNow) stays unconditional: an operator asking
+// for a sweep gets one.
+func (rt *Router) repairTick() {
+	if !rt.tryRepairLease() {
+		return
+	}
+	rt.RepairNow(context.Background())
 }
 
 // jitterInterval spreads d over [0.8d, 1.2d).
@@ -85,6 +101,7 @@ func (rt *Router) RepairNow(ctx context.Context) encode.RepairReport {
 	if rep.Repaired > 0 || rep.Failed > 0 {
 		rt.aud.append(encode.AuditEntry{
 			Op:       "repair",
+			Origin:   rt.cfg.ReplicaID,
 			Outcome:  repairOutcome(rep),
 			Migrated: rep.Repaired,
 			Failed:   rep.Failed,

@@ -22,13 +22,13 @@ import (
 )
 
 // manualRepairCluster is a cluster whose sweeps run only via RepairNow.
-func manualRepairCluster(t *testing.T, n int) *cluster {
+func manualRepairCluster(t *testing.T, n int) *testCluster {
 	t.Helper()
 	return newClusterWith(t, n, "", func(cfg *Config) { cfg.RepairInterval = -1 })
 }
 
 // keepJob submits one keep-posterior job and waits it to done.
-func keepJob(t *testing.T, cl *cluster, bp int) encode.JobStatus {
+func keepJob(t *testing.T, cl *testCluster, bp int) encode.JobStatus {
 	t.Helper()
 	params := cheapParams()
 	params.KeepPosterior = true
@@ -100,7 +100,7 @@ func strandPosterior(t *testing.T, from, to *backend, id string) {
 }
 
 // other returns the cluster backend that is not b.
-func other(t *testing.T, cl *cluster, b *backend) *backend {
+func other(t *testing.T, cl *testCluster, b *backend) *backend {
 	t.Helper()
 	for _, c := range cl.backends {
 		if c != b {

@@ -38,18 +38,23 @@ package router
 
 import (
 	"bytes"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"phmse/internal/client"
+	"phmse/internal/cluster"
 	"phmse/internal/encode"
 )
 
@@ -138,6 +143,30 @@ type Config struct {
 	// GET /admin/v1/audit regardless.
 	AuditLog string
 
+	// ReplicaID names this router replica in the replicated membership
+	// document: the Origin stamp on its mutations, the holder of its
+	// repair leases, and the `from` of its gossip exchanges. Default: a
+	// random "r-<hex>" id minted at startup — fine for ephemeral
+	// replicas, but deploy stable ids so audit origins survive restarts.
+	ReplicaID string
+	// Peers lists the other router replicas' base URLs
+	// (e.g. "http://router-b:8090"). Replicas gossip the membership
+	// document over POST /cluster/v1/state: an /admin/v1 mutation at any
+	// replica propagates to every peer within one gossip round. Empty
+	// (the default) runs the classic single-router control plane.
+	Peers []string
+	// GossipInterval is the anti-entropy exchange period (default 1s,
+	// jittered; negative disables the background loop — exchanges still
+	// run via GossipNow and inbound pushes, the test mode). Admin
+	// mutations additionally kick an immediate round.
+	GossipInterval time.Duration
+	// LeaseTTL is the repair-sweeper lease duration (default 3×
+	// RepairInterval): the window during which the lease-holding replica
+	// owns the anti-entropy posterior sweep and every peer skips its
+	// own. A holder renews on each sweep; a crashed holder's lease
+	// simply expires.
+	LeaseTTL time.Duration
+
 	// HTTPClient overrides the forwarding/probing client.
 	HTTPClient *http.Client
 }
@@ -193,6 +222,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlapWindow <= 0 {
 		c.FlapWindow = time.Minute
+	}
+	if c.ReplicaID == "" {
+		var b [4]byte
+		crand.Read(b[:]) //nolint:errcheck // never fails on supported platforms
+		c.ReplicaID = "r-" + hex.EncodeToString(b[:])
+	}
+	if c.LeaseTTL <= 0 {
+		if c.RepairInterval > 0 {
+			c.LeaseTTL = 3 * c.RepairInterval
+		} else {
+			c.LeaseTTL = 90 * time.Second
+		}
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = &http.Client{}
@@ -296,6 +337,14 @@ type Router struct {
 
 	repairSweeps, repairRepaired, repairFailed, repairSkipped atomic.Int64
 
+	// cnode is the replicated-control-plane node (cluster.go): the
+	// epoch-stamped membership document and its gossip loop.
+	// clusterApplies counts peer documents that changed membership here;
+	// leaseSkips counts repair ticks skipped because a peer held the
+	// sweeper lease.
+	cnode                      *cluster.Node
+	clusterApplies, leaseSkips atomic.Int64
+
 	// aud is the admin-plane audit log (audit.go); nil only before New
 	// finishes.
 	aud *auditor
@@ -334,6 +383,16 @@ func New(cfg Config) (*Router, error) {
 		seen[base] = true
 		rt.shards = append(rt.shards, &shard{name: base, base: base, alive: true, ready: true})
 	}
+	rt.cnode = cluster.New(cluster.Config{
+		ReplicaID:  cfg.ReplicaID,
+		Peers:      cfg.Peers,
+		Interval:   cfg.GossipInterval,
+		AuthToken:  cfg.AdminToken,
+		HTTPClient: cfg.HTTPClient,
+		OnAdopt:    rt.onClusterAdopt,
+		OnConflict: rt.onClusterConflict,
+		Logf:       log.Printf,
+	}, initialClusterDoc(rt.shards))
 	rt.rebuildRing()
 
 	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
@@ -352,9 +411,12 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /admin/v1/shards/{name}/drain", rt.adminAuth(rt.handleAdminDrainShard))
 	rt.mux.HandleFunc("POST /admin/v1/repair", rt.adminAuth(rt.handleAdminRepair))
 	rt.mux.HandleFunc("GET /admin/v1/audit", rt.adminAuth(rt.handleAdminAudit))
+	rt.mux.HandleFunc("GET /cluster/v1/state", rt.adminAuth(rt.handleClusterState))
+	rt.mux.HandleFunc("POST /cluster/v1/state", rt.adminAuth(rt.handleClusterExchange))
 
 	go rt.probeLoop()
 	go rt.repairLoop()
+	rt.cnode.Start()
 	return rt, nil
 }
 
@@ -373,6 +435,7 @@ func (rt *Router) Close() {
 	}
 	<-rt.done
 	<-rt.repairDone
+	rt.cnode.Close()
 	rt.aud.close()
 }
 
@@ -384,6 +447,32 @@ func (rt *Router) shardList() []*shard {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
 	return append([]*shard(nil), rt.shards...)
+}
+
+// shardsByLoad returns the membership snapshot sorted least-loaded
+// first by the queue_depth+running gauges the prober collects. Broadcast
+// lookups (an unattributable job id, a posterior location fan-out) probe
+// in this order: the answer is equally likely anywhere, so asking the
+// idle shards first keeps sequential fan-outs off the busy ones — a
+// first step toward load-aware ring weighting. The sort is stable, so
+// equally-loaded shards keep the membership order.
+func (rt *Router) shardsByLoad() []*shard {
+	shards := rt.shardList()
+	type loaded struct {
+		sh   *shard
+		load int
+	}
+	ranked := make([]loaded, len(shards))
+	for i, sh := range shards {
+		sh.mu.Lock()
+		ranked[i] = loaded{sh, sh.queueDepth + sh.running}
+		sh.mu.Unlock()
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].load < ranked[j].load })
+	for i, r := range ranked {
+		shards[i] = r.sh
+	}
+	return shards
 }
 
 // currentRing returns the installed ring generation.
@@ -725,7 +814,7 @@ func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sawNotFound, sawSaturated := false, false
-	for _, sh := range rt.shardList() {
+	for _, sh := range rt.shardsByLoad() {
 		if !sh.isAlive() {
 			continue
 		}

@@ -98,23 +98,23 @@ func (b *backend) url() string { return "http://" + b.addr }
 // cluster is a router over n live backends plus a typed client bound to
 // the router — the same client the daemon's own tests use, pointed one
 // tier up.
-type cluster struct {
+type testCluster struct {
 	rt       *Router
 	rts      *httptest.Server
 	c        *client.Client
 	backends []*backend
 }
 
-func newCluster(t *testing.T, n int) *cluster {
+func newCluster(t *testing.T, n int) *testCluster {
 	t.Helper()
 	return newClusterWith(t, n, "", nil)
 }
 
 // newClusterWith starts a cluster whose backends and router share the
 // given admin token and whose router config may be adjusted before New.
-func newClusterWith(t *testing.T, n int, token string, mut func(*Config)) *cluster {
+func newClusterWith(t *testing.T, n int, token string, mut func(*Config)) *testCluster {
 	t.Helper()
-	cl := &cluster{}
+	cl := &testCluster{}
 	var bases []string
 	for i := 0; i < n; i++ {
 		b := &backend{name: fmt.Sprintf("s%d", i+1), dir: t.TempDir(), token: token}
@@ -153,7 +153,7 @@ func newClusterWith(t *testing.T, n int, token string, mut func(*Config)) *clust
 // waitRing re-probes until the ring settles at the wanted shape — a CPU
 // starved machine can time out a probe of a healthy shard, so a single
 // forced sweep is not decisive.
-func (cl *cluster) waitRing(t *testing.T, ready, unhealthy int) {
+func (cl *testCluster) waitRing(t *testing.T, ready, unhealthy int) {
 	t.Helper()
 	deadline := time.Now().Add(15 * time.Second)
 	for {
@@ -171,7 +171,7 @@ func (cl *cluster) waitRing(t *testing.T, ready, unhealthy int) {
 }
 
 // byInstance finds the backend whose instance id minted the given job id.
-func (cl *cluster) byInstance(t *testing.T, id string) *backend {
+func (cl *testCluster) byInstance(t *testing.T, id string) *backend {
 	t.Helper()
 	instance := encode.JobInstance(id)
 	for _, b := range cl.backends {
@@ -183,7 +183,7 @@ func (cl *cluster) byInstance(t *testing.T, id string) *backend {
 	return nil
 }
 
-func (cl *cluster) submit(t *testing.T, p *molecule.Problem, params encode.SolveParams) encode.JobStatus {
+func (cl *testCluster) submit(t *testing.T, p *molecule.Problem, params encode.SolveParams) encode.JobStatus {
 	t.Helper()
 	st, err := cl.c.Submit(context.Background(), p, params)
 	if err != nil {
@@ -195,7 +195,7 @@ func (cl *cluster) submit(t *testing.T, p *molecule.Problem, params encode.Solve
 	return st
 }
 
-func (cl *cluster) waitDone(t *testing.T, id string) encode.JobStatus {
+func (cl *testCluster) waitDone(t *testing.T, id string) encode.JobStatus {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
